@@ -1,0 +1,38 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each module regenerates one of the paper's tables or figures, printing
+the same rows/series the paper reports.  ``pytest-benchmark`` times the
+regeneration (single round — these are experiments, not microbenchmarks).
+"""
+
+import pytest
+
+from repro.experiments import Lab
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fast-suite", action="store_true", default=False,
+        help="run experiments on a reduced benchmark subset")
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def programs(request):
+    from repro.experiments import default_programs
+
+    return default_programs(fast=request.config.getoption("--fast-suite"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Tables 13-16, Figures 16-19: the cache experiments."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import (CACHE_PROGRAMS, format_figure16,
+                               format_figure19, format_figures_17_18,
+                               format_miss_rate_table, format_table13,
+                               run_cache_study)
+
+
+def test_cache_study_tables_13_16_figures_16_19(benchmark, lab):
+    study = run_once(benchmark, run_cache_study, lab, CACHE_PROGRAMS)
+    print()
+    print(format_table13(study))
+    for program in CACHE_PROGRAMS:
+        print()
+        print(format_miss_rate_table(study, program))
+    print()
+    print(format_figure16(study))
+    print()
+    print(format_figures_17_18(study, size=4096))
+    print()
+    print(format_figures_17_18(study, size=16384))
+    print()
+    print(format_figure19(study))
+
+    for program in CACHE_PROGRAMS:
+        for size in (1024, 2048, 4096, 8192, 16384):
+            d16 = study.point(program, "d16", size, 32).rates
+            dlxe = study.point(program, "dlxe", size, 32).rates
+            # Byte for byte, D16 gets better I-cache behaviour: twice
+            # the instructions fit in the same cache (paper Sec 4.1).
+            assert d16.imiss_rate <= dlxe.imiss_rate + 1e-9, \
+                (program, size)
+            # And D16 moves fewer instruction words from memory.
+            assert d16.itraffic_words <= dlxe.itraffic_words
+
+        # Figures 17/18: at 16K the normalized CPI curves must be close
+        # (within ~20%) — the cache has absorbed the traffic difference.
+        for penalty in (4, 16):
+            d16_cycles = study.cycles(program, "d16", 16384, 32, penalty)
+            dlxe_cycles = study.cycles(program, "dlxe", 16384, 32,
+                                       penalty)
+            dlxe_ic = study.traces[(program, "dlxe")].run.stats.instructions
+            normalized_d16 = d16_cycles / dlxe_ic
+            dlxe_cpi = dlxe_cycles / dlxe_ic
+            assert normalized_d16 / dlxe_cpi < 1.45, (program, penalty)

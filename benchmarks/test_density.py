@@ -1,0 +1,21 @@
+"""Figure 4 / Table 6: code density across the five configurations."""
+
+from conftest import run_once
+
+from repro.experiments import (format_figure4, format_table6, run_density)
+
+
+def test_density_table6_figure4(benchmark, lab, programs):
+    result = run_once(benchmark, run_density, lab, programs)
+    print()
+    print(format_table6(result))
+    print()
+    print(format_figure4(result))
+
+    ratio = result.average_ratio("dlxe")
+    # Paper: DLXe/D16 ~ 1.5; the defining claim is "well below 2".
+    # (Our full-suite average is ~1.24 — the data segment dilutes it;
+    # see EXPERIMENTS.md "Known divergences".)
+    assert 1.15 < ratio < 1.85
+    for row in result.rows:
+        assert row.ratio("dlxe") > 1.0

@@ -1,0 +1,17 @@
+"""Table 10: delayed-load and math-unit interlocks."""
+
+from conftest import run_once
+
+from repro.experiments import format_table10, mean, run_interlocks
+
+
+def test_interlocks_table10(benchmark, lab, programs):
+    rows = run_once(benchmark, run_interlocks, lab, programs)
+    print()
+    print(format_table10(rows))
+
+    d16_mean = mean(row.d16_rate for row in rows)
+    dlxe_mean = mean(row.dlxe_rate for row in rows)
+    # Paper Table 10: mean rates ~0.10 (D16) and ~0.12 (DLXe).
+    assert 0.02 < d16_mean < 0.35
+    assert 0.02 < dlxe_mean < 0.35

@@ -1,0 +1,36 @@
+"""Figures 14-15, Tables 11-12: cacheless memory-latency sweeps."""
+
+from conftest import run_once
+
+from repro.experiments import (format_figure14, format_figure15,
+                               format_tables_11_12, run_memperf)
+
+
+def test_memperf_tables_11_12_figures_14_15(benchmark, lab, programs):
+    def sweep():
+        result32 = run_memperf(lab, programs, bus_bits=32)
+        result64 = run_memperf(lab, programs, bus_bits=64)
+        return result32, result64
+
+    result32, result64 = run_once(benchmark, sweep)
+    print()
+    print(format_tables_11_12(result32))
+    print()
+    print(format_tables_11_12(result64))
+    print()
+    print(format_figure14(result32, result64))
+    print()
+    print(format_figure15(result32, result64, lab, programs))
+
+    # Paper's headline (Table 11): with a 32-bit bus, DLXe wins at zero
+    # wait states but D16 wins once memory has any latency.
+    assert result32.mean_ratio(0) < 1.0
+    assert result32.mean_ratio(3) > result32.mean_ratio(1) \
+        > result32.mean_ratio(0)
+    # 64-bit bus (Table 12): prefetching helps DLXe; ratios shrink.
+    for ws in (1, 2, 3):
+        assert result64.mean_ratio(ws) <= result32.mean_ratio(ws)
+    # Figure 15: the D16 fetch stream needs fewer transactions/cycle.
+    for ws in (0, 1, 2, 3):
+        d16 = [result32.fetch_rates[p][ws] for p in result32.fetch_rates]
+        assert all(0 < rate <= 1 for rate in d16)

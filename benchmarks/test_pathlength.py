@@ -1,0 +1,19 @@
+"""Figure 5 / Table 7: path length across the five configurations."""
+
+from conftest import run_once
+
+from repro.experiments import (format_figure5, format_table7,
+                               run_pathlength)
+
+
+def test_pathlength_table7_figure5(benchmark, lab, programs):
+    result = run_once(benchmark, run_pathlength, lab, programs)
+    print()
+    print(format_table7(result))
+    print()
+    print(format_figure5(result))
+
+    ratio = result.average_ratio("dlxe")
+    # Paper: DLXe executes ~0.87x of D16's instructions — far less
+    # reduction than the ~1.5x density gap would predict.
+    assert 0.70 < ratio < 1.0

@@ -1,0 +1,24 @@
+"""Table 5 / Figures 11-12: combined feature effects."""
+
+from conftest import run_once
+
+from repro.experiments import (format_figures_11_12, format_table5,
+                               run_summary)
+
+
+def test_summary_table5_figures_11_12(benchmark, lab, programs):
+    result = run_once(benchmark, run_summary, lab, programs)
+    print()
+    print(format_table5(result))
+    print()
+    print(format_figures_11_12(result))
+
+    # Paper Table 5 ordering: restricting registers or addresses makes
+    # DLXe code bigger and (weakly) slower-by-count.
+    assert result.code_size_ratio(16, 2) >= result.code_size_ratio(16, 3)
+    assert result.code_size_ratio(32, 2) >= result.code_size_ratio(32, 3)
+    assert result.code_size_ratio(16, 3) >= result.code_size_ratio(32, 3)
+    assert result.path_ratio(16, 2) >= result.path_ratio(32, 3)
+    for regs in (16, 32):
+        for addrs in (2, 3):
+            assert result.path_ratio(regs, addrs) <= 1.0

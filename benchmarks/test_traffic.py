@@ -1,0 +1,28 @@
+"""Table 8 / Figure 13 / Table 9: instruction traffic and density."""
+
+from conftest import run_once
+
+from repro.experiments import (format_figure13, format_table8,
+                               format_table9, run_data_traffic,
+                               run_traffic)
+
+
+def test_traffic_table8_figure13(benchmark, lab, programs):
+    result = run_once(benchmark, run_traffic, lab, programs)
+    print()
+    print(format_table8(result))
+    print()
+    print(format_figure13(result))
+
+    # Paper Table 8: D16 saves ~35% of fetch words on average.
+    assert 15 < result.average_saving < 50
+    for row in result.rows:
+        # Word-aligned fetches: traffic is more than half the path.
+        assert row.d16_traffic > row.d16_path / 2
+        assert row.d16_traffic < row.dlxe_traffic
+
+
+def test_loads_stores_table9(benchmark, lab, programs):
+    result = run_once(benchmark, run_data_traffic, lab, programs)
+    print()
+    print(format_table9(result))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one program for both encodings and compare.
+
+This walks the full pipeline the paper's experiments rest on:
+minic source -> optimizing compiler -> assembler/linker -> architecture
+simulator, then contrasts the D16 (16-bit) and DLXe (32-bit) results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asm import format_listing
+from repro.cc import compile_and_run
+from repro.machine import cycles_no_cache
+
+SOURCE = r"""
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+
+int main() {
+    int n, best, best_steps, steps;
+    best = 1;
+    best_steps = 0;
+    for (n = 1; n <= 120; n++) {
+        steps = collatz_steps(n);
+        if (steps > best_steps) {
+            best_steps = steps;
+            best = n;
+        }
+    }
+    puts("longest Collatz chain under 120: n=");
+    puti(best);
+    puts(" (");
+    puti(best_steps);
+    puts(" steps)\n");
+    return 0;
+}
+"""
+
+
+def main():
+    results = {}
+    for target in ("dlxe", "d16"):
+        stats, machine, result = compile_and_run(SOURCE, target)
+        results[target] = (stats, result)
+        print(f"=== {target.upper()} ===")
+        print(f"  program output : {stats.output.strip()!r}")
+        print(f"  binary size    : {result.binary_size} bytes")
+        print(f"  path length    : {stats.instructions} instructions")
+        print(f"  interlocks     : {stats.interlocks}")
+        print(f"  fetch words    : {stats.ifetch_words} (32-bit bus)")
+        for wait_states in (0, 1, 2):
+            cycles = cycles_no_cache(stats, latency=wait_states)
+            print(f"  cycles @ {wait_states} ws  : {cycles}")
+        print()
+
+    d16_stats, d16_result = results["d16"]
+    dlxe_stats, dlxe_result = results["dlxe"]
+    print("=== The paper's trade-off, in one program ===")
+    print(f"  density  DLXe/D16 : "
+          f"{dlxe_result.binary_size / d16_result.binary_size:.2f}x "
+          "(D16 code is denser)")
+    print(f"  path     DLXe/D16 : "
+          f"{dlxe_stats.instructions / d16_stats.instructions:.2f}x "
+          "(DLXe executes fewer instructions)")
+    for wait_states in (0, 1, 2):
+        d16_cycles = cycles_no_cache(d16_stats, latency=wait_states)
+        dlxe_cycles = cycles_no_cache(dlxe_stats, latency=wait_states)
+        winner = "D16" if d16_cycles < dlxe_cycles else "DLXe"
+        print(f"  cycles @ {wait_states} wait states: DLXe/D16 = "
+          f"{dlxe_cycles / d16_cycles:.2f} -> {winner} wins")
+
+    print()
+    print("First instructions of each encoding (same compiler, same "
+          "pipeline):")
+    for target in ("dlxe", "d16"):
+        _stats, result = results[target]
+        print(f"--- {target} ---")
+        print(format_listing(result.executable, count=8))
+
+
+if __name__ == "__main__":
+    main()

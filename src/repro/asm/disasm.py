@@ -1,0 +1,44 @@
+"""Disassembler for linked executables (debugging aid)."""
+
+from __future__ import annotations
+
+from ..isa import DecodingError, get_isa
+from .objfile import Executable
+
+
+def disassemble(exe: Executable, *, start: int | None = None,
+                count: int | None = None) -> list[tuple[int, str]]:
+    """Disassemble the text segment; returns (address, text) pairs."""
+    isa = get_isa(exe.isa_name)
+    rev_symbols = {}
+    for name, addr in exe.symbols.items():
+        rev_symbols.setdefault(addr, name)
+    out: list[tuple[int, str]] = []
+    address = start if start is not None else exe.text_base
+    end = exe.text_base + len(exe.text)
+    emitted = 0
+    while address < end:
+        if count is not None and emitted >= count:
+            break
+        offset = address - exe.text_base
+        try:
+            instr = isa.decode_bytes(exe.text, offset)
+            text = str(instr)
+        except DecodingError:
+            word = int.from_bytes(
+                exe.text[offset:offset + isa.width_bytes], "little")
+            text = f".word {word:#x}"
+        label = rev_symbols.get(address)
+        if label is not None:
+            text = f"{label}: {text}"
+        out.append((address, text))
+        address += isa.width_bytes
+        emitted += 1
+    return out
+
+
+def format_listing(exe: Executable, **kwargs) -> str:
+    """Human-readable disassembly listing."""
+    lines = [f"{addr:#010x}  {text}"
+             for addr, text in disassemble(exe, **kwargs)]
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""The benchmark suite (paper Table 2), as minic programs.
+
+Every program is self-checking: it prints a deterministic result line
+whose exact text must match across all targets (``expected_markers``
+are substrings the output must contain).  ``cache_program`` marks the
+three applications used for the cache experiments (assem, latex, ipl).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from pathlib import Path
+
+PROGRAM_DIR = Path(__file__).parent / "programs"
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    name: str
+    description: str
+    expected_markers: tuple[str, ...]
+    cache_program: bool = False
+    uses_fp: bool = False
+
+    @property
+    def path(self) -> Path:
+        return PROGRAM_DIR / f"{self.name}.mc"
+
+    @functools.cached_property
+    def source(self) -> str:
+        return self.path.read_text()
+
+
+SUITE: tuple[Benchmark, ...] = (
+    Benchmark("ackermann", "Computes the Ackermann function.",
+              ("ack(2,6)=15", "ack(3,4)=125", "calls=10426")),
+    Benchmark("assem", "A two-pass assembler (the paper's D16 assembler).",
+              ("words=204", "errors=0", "checksum="), cache_program=True),
+    Benchmark("bubblesort", "Sorting program from the Stanford suite.",
+              ("sorted=1", "sum=")),
+    Benchmark("queens", "The Stanford eight-queens program.",
+              ("solutions=92",)),
+    Benchmark("quicksort", "The Stanford quicksort program.",
+              ("sorted=1", "sum=")),
+    Benchmark("towers", "The Stanford towers of Hanoi program.",
+              ("moves=16383", "top=1")),
+    Benchmark("grep", "A text scanner in the spirit of BSD grep.",
+              ("lines=208", "quick=", "q.ick=")),
+    Benchmark("linpack", "LU factorization and solve (daxpy-based).",
+              ("info=-1", "resid_ok=1"), uses_fp=True),
+    Benchmark("matrix", "Gaussian elimination plus integer matrix product.",
+              ("norm=", "trace="), uses_fp=True),
+    Benchmark("dhrystone", "The synthetic integer benchmark.",
+              ("int_glob=5", "bool_glob=")),
+    Benchmark("pi", "Computes digits of pi (integer spigot).",
+              ("3.14159265358979",)),
+    Benchmark("solver", "Newton-Raphson iterative solver.",
+              ("dottie=0.739085", "root="), uses_fp=True),
+    Benchmark("latex", "A paragraph typesetter (the paper's 'latex').",
+              ("words=", "lines=", "check="), cache_program=True),
+    Benchmark("ipl", "A function plotter (the paper's 'ipl').",
+              ("pixels=", "check="), cache_program=True, uses_fp=True),
+    Benchmark("whetstone", "The synthetic floating-point benchmark.",
+              ("x=", "e1[3]=", "j="), uses_fp=True),
+)
+
+BY_NAME = {bench.name: bench for bench in SUITE}
+
+#: Programs the paper uses for the cache experiments (Section 4.1).
+CACHE_SUITE = tuple(bench for bench in SUITE if bench.cache_program)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"expected one of {sorted(BY_NAME)}")
+
+
+def check_output(bench: Benchmark, output: str) -> bool:
+    """True if the program output carries every expected marker."""
+    return all(marker in output for marker in bench.expected_markers)

@@ -1,0 +1,7 @@
+"""Trace-driven cache simulation (dinero-equivalent substrate)."""
+
+from .cache import Cache, CacheConfig
+from .hierarchy import CacheRates, dedup_consecutive, simulate_caches
+
+__all__ = ["Cache", "CacheConfig", "CacheRates", "dedup_consecutive",
+           "simulate_caches"]

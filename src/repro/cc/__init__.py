@@ -1,0 +1,17 @@
+"""minic: the optimizing C-subset compiler targeting D16 and DLXe."""
+
+from .driver import (CompileResult, build_executable, compile_and_run,
+                     compile_to_assembly)
+from .irgen import CompileError, lower_program
+from .lexer import LexError
+from .parser import ParseError, parse
+from .target import (D16_TARGET, DLXE_16_2, DLXE_16_3, DLXE_32_2,
+                     DLXE_NARROW, DLXE_TARGET, TARGETS, TargetSpec,
+                     get_target)
+
+__all__ = [
+    "CompileError", "CompileResult", "D16_TARGET", "DLXE_16_2", "DLXE_16_3",
+    "DLXE_32_2", "DLXE_NARROW", "DLXE_TARGET", "LexError", "ParseError",
+    "TARGETS", "TargetSpec", "build_executable", "compile_and_run",
+    "compile_to_assembly", "get_target", "lower_program", "parse",
+]

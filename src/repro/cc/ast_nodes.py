@@ -1,0 +1,207 @@
+"""Abstract syntax tree for minic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import Type
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    is_single: bool = False
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-', '!', '~', '*', '&', '++', '--'
+    operand: Expr | None = None
+
+
+@dataclass
+class Postfix(Expr):
+    op: str = ""          # '++', '--'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="         # '=', '+=', '-=', ...
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Member(Expr):
+    base: Expr | None = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    type: Type | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class SizeofType(Expr):
+    type: Type | None = None
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: Type | None = None
+    init: object = None   # Expr, list (array init), or None
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclList(Stmt):
+    """Several declarators from one statement (``int a, b;``).
+
+    Unlike :class:`Block`, this does not open a scope."""
+
+    decls: list[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None      # ExprStmt, VarDecl, or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------- top level
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass
+class FuncDef:
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: Type
+    init: object = None   # Expr, list, str, or None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: list[FuncDef] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    structs: dict[str, Type] = field(default_factory=dict)

@@ -1,0 +1,83 @@
+"""Compiler driver: minic source -> assembly -> linked executable.
+
+The driver performs whole-program compilation, concatenating the runtime
+library with the user program so that one compiler invocation (and one
+set of target restrictions) covers every instruction the benchmark will
+execute — the paper's "library source is identical" footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm import assemble, link
+from ..asm.objfile import Executable
+from .codegen import generate_assembly
+from .irgen import lower_program
+from .opt import optimize_module
+from .parser import parse
+from .runtime import RUNTIME_SOURCE
+from .target import TargetSpec, get_target
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compilation."""
+
+    target: TargetSpec
+    assembly: str
+    executable: Executable
+
+    @property
+    def binary_size(self) -> int:
+        return self.executable.binary_size
+
+
+def compile_to_assembly(source: str, target: TargetSpec | str, *,
+                        opt_level: int = 2,
+                        include_runtime: bool = True,
+                        schedule: bool = True) -> str:
+    """Compile minic source to an assembly listing."""
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    program = parse(full_source)
+    module = lower_program(program)
+    optimize_module(module, level=opt_level)
+    return generate_assembly(module, target,
+                             schedule=schedule and opt_level >= 1)
+
+
+def build_executable(source: str, target: TargetSpec | str, *,
+                     opt_level: int = 2,
+                     include_runtime: bool = True,
+                     schedule: bool = True) -> CompileResult:
+    """Compile, assemble and link a minic program."""
+    if isinstance(target, str):
+        target = get_target(target)
+    assembly = compile_to_assembly(source, target, opt_level=opt_level,
+                                   include_runtime=include_runtime,
+                                   schedule=schedule)
+    obj = assemble(assembly, target.isa)
+    executable = link([obj])
+    return CompileResult(target=target, assembly=assembly,
+                         executable=executable)
+
+
+def compile_and_run(source: str, target: TargetSpec | str, *,
+                    stdin: bytes = b"", opt_level: int = 2,
+                    include_runtime: bool = True,
+                    max_instructions: int = 2_000_000_000,
+                    trace_instructions: bool = False,
+                    trace_data: bool = False):
+    """Compile and execute; returns (stats, machine, result)."""
+    from ..machine import run_executable
+
+    result = build_executable(source, target, opt_level=opt_level,
+                              include_runtime=include_runtime)
+    stats, machine = run_executable(
+        result.executable, stdin=stdin,
+        max_instructions=max_instructions,
+        trace_instructions=trace_instructions, trace_data=trace_data)
+    return stats, machine, result

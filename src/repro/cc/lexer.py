@@ -1,0 +1,121 @@
+"""Tokenizer for minic."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = frozenset({
+    "int", "char", "float", "double", "void", "struct",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "sizeof",
+})
+
+# Longest-match-first operator list.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", ".",
+]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_]\w*)
+""", re.VERBOSE | re.DOTALL)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "r": "\r",
+            "'": "'", '"': '"', "\\": "\\"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'int', 'float', 'char', 'string', 'ident', 'kw', 'op', 'eof'
+    text: str
+    value: object      # numeric value / decoded string where applicable
+    line: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _decode_string(raw: str, line: int) -> str:
+    body = raw[1:-1]
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise LexError("dangling escape", line)
+            esc = body[i + 1]
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape \\{esc}", line)
+            out.append(_ESCAPES[esc])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a minic source string; appends a trailing EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        m = _TOKEN_RE.match(source, pos)
+        if m:
+            kind = m.lastgroup
+            text = m.group()
+            pos = m.end()
+            if kind == "nl":
+                line += 1
+                continue
+            if kind in ("ws", "comment"):
+                line += text.count("\n")
+                continue
+            if kind == "int":
+                tokens.append(Token("int", text, int(text, 0), line))
+            elif kind == "float":
+                is_single = text[-1] in "fF"
+                value = float(text.rstrip("fF"))
+                tokens.append(Token("float" if not is_single else "floatf",
+                                    text, value, line))
+            elif kind == "char":
+                decoded = _decode_string('"' + text[1:-1] + '"', line)
+                if len(decoded) != 1:
+                    raise LexError(f"bad char literal {text}", line)
+                tokens.append(Token("int", text, ord(decoded), line))
+            elif kind == "string":
+                tokens.append(Token("string", text,
+                                    _decode_string(text, line), line))
+            elif kind == "ident":
+                tok_kind = "kw" if text in KEYWORDS else "ident"
+                tokens.append(Token(tok_kind, text, text, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {source[pos]!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,474 @@
+"""Recursive-descent parser for minic.
+
+Grammar summary (C subset)::
+
+    program     := (struct_def | func_def | global_decl)*
+    struct_def  := 'struct' IDENT '{' (type declarator ';')* '}' ';'
+    func_def    := type declarator '(' params ')' block
+    global_decl := type declarator ('=' initializer)? (',' declarator ...)? ';'
+    stmt        := block | if | while | do-while | for | return
+                 | break | continue | decl | expr ';'
+    expr        := assignment with full C operator precedence
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .lexer import Token, tokenize
+from .types import (ArrayType, CHAR, DOUBLE, FLOAT, INT, StructType,
+                    Type, VOID, layout_struct, pointer_to)
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_BASE_TYPES = {"int": INT, "char": CHAR, "float": FLOAT, "double": DOUBLE,
+               "void": VOID}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=",
+               "&=", "|=", "^="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.tok
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}",
+                             tok.line)
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.tok.text == text:
+            self.advance()
+            return True
+        return False
+
+    def fail(self, message: str):
+        raise ParseError(message, self.tok.line)
+
+    # -------------------------------------------------------------- types
+
+    def at_type(self) -> bool:
+        tok = self.tok
+        if tok.kind == "kw" and tok.text in _BASE_TYPES:
+            return True
+        return tok.kind == "kw" and tok.text == "struct"
+
+    def parse_base_type(self) -> Type:
+        tok = self.tok
+        if tok.text == "struct":
+            self.advance()
+            name = self.expect_ident()
+            if name not in self.structs:
+                self.fail(f"unknown struct {name!r}")
+            return self.structs[name]
+        if tok.kind == "kw" and tok.text in _BASE_TYPES:
+            self.advance()
+            return _BASE_TYPES[tok.text]
+        self.fail(f"expected type, found {tok.text!r}")
+
+    def parse_pointers(self, base: Type) -> Type:
+        ty = base
+        while self.accept("*"):
+            ty = pointer_to(ty)
+        return ty
+
+    def expect_ident(self) -> str:
+        tok = self.tok
+        if tok.kind != "ident":
+            self.fail(f"expected identifier, found {tok.text!r}")
+        self.advance()
+        return tok.text
+
+    def parse_array_suffix(self, ty: Type) -> Type:
+        dims = []
+        while self.accept("["):
+            if self.accept("]"):
+                dims.append(0)      # unsized: length inferred from init
+                continue
+            size_tok = self.tok
+            if size_tok.kind != "int":
+                self.fail("array dimension must be an integer literal")
+            self.advance()
+            self.expect("]")
+            dims.append(size_tok.value)
+        for dim in reversed(dims):
+            ty = ArrayType(element=ty, length=dim)
+        return ty
+
+    # ---------------------------------------------------------- top level
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.tok.kind != "eof":
+            if self.tok.text == "struct" and self.peek(2).text == "{":
+                self.parse_struct_def()
+                continue
+            base = self.parse_base_type()
+            self.parse_top_decl(base, program)
+        program.structs = dict(self.structs)
+        return program
+
+    def parse_struct_def(self) -> None:
+        line = self.tok.line
+        self.expect("struct")
+        name = self.expect_ident()
+        if name in self.structs:
+            raise ParseError(f"duplicate struct {name!r}", line)
+        placeholder = StructType(name=name, fields=())
+        self.structs[name] = placeholder   # allow self-referential pointers
+        self.expect("{")
+        members: list[tuple[str, Type]] = []
+        while not self.accept("}"):
+            base = self.parse_base_type()
+            while True:
+                ty = self.parse_pointers(base)
+                member = self.expect_ident()
+                ty = self.parse_array_suffix(ty)
+                members.append((member, ty))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect(";")
+        layout_struct(name, members, into=placeholder)
+
+    def parse_top_decl(self, base: Type, program: ast.Program) -> None:
+        ty = self.parse_pointers(base)
+        line = self.tok.line
+        name = self.expect_ident()
+        if self.tok.text == "(":
+            program.functions.append(self.parse_func_def(ty, name, line))
+            return
+        while True:
+            full_ty = self.parse_array_suffix(ty)
+            init = None
+            if self.accept("="):
+                init = self.parse_initializer()
+            program.globals.append(
+                ast.GlobalDecl(name=name, type=full_ty, init=init, line=line))
+            if not self.accept(","):
+                break
+            ty = self.parse_pointers(base)
+            name = self.expect_ident()
+        self.expect(";")
+
+    def parse_initializer(self):
+        if self.tok.text == "{":
+            self.advance()
+            items = []
+            while not self.accept("}"):
+                items.append(self.parse_initializer())
+                if self.tok.text != "}":
+                    self.expect(",")
+            return items
+        if self.tok.kind == "string":
+            tok = self.advance()
+            return ast.StrLit(line=tok.line, value=tok.value)
+        return self.parse_assignment()
+
+    def parse_func_def(self, ret: Type, name: str, line: int) -> ast.FuncDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.accept(")"):
+            if self.tok.text == "void" and self.peek().text == ")":
+                self.advance()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    ty = self.parse_pointers(base)
+                    pname = self.expect_ident()
+                    ty = self.parse_array_suffix(ty)
+                    if isinstance(ty, ArrayType):
+                        ty = pointer_to(ty.element)   # parameter decay
+                    params.append(ast.Param(pname, ty))
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDef(name=name, return_type=ret, params=params,
+                           body=body, line=line)
+
+    # --------------------------------------------------------- statements
+
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("{")
+        body: list[ast.Stmt] = []
+        while not self.accept("}"):
+            body.append(self.parse_statement())
+        return ast.Block(line=line, body=body)
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.tok
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "while":
+            return self.parse_while()
+        if tok.text == "do":
+            return self.parse_do_while()
+        if tok.text == "for":
+            return self.parse_for()
+        if tok.text == "return":
+            self.advance()
+            value = None if self.tok.text == ";" else self.parse_expr()
+            self.expect(";")
+            return ast.Return(line=tok.line, value=value)
+        if tok.text == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=tok.line)
+        if tok.text == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line=tok.line)
+        if self.at_type():
+            return self.parse_local_decl()
+        if tok.text == ";":
+            self.advance()
+            return ast.Block(line=tok.line, body=[])
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line=tok.line, expr=expr)
+
+    def parse_local_decl(self) -> ast.Stmt:
+        line = self.tok.line
+        base = self.parse_base_type()
+        decls: list[ast.Stmt] = []
+        while True:
+            ty = self.parse_pointers(base)
+            name = self.expect_ident()
+            ty = self.parse_array_suffix(ty)
+            init = None
+            if self.accept("="):
+                init = self.parse_initializer()
+            decls.append(ast.VarDecl(line=line, name=name, type=ty,
+                                     init=init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.DeclList(line=line, decls=decls)
+
+    def parse_if(self) -> ast.If:
+        line = self.tok.line
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_statement()
+        other = self.parse_statement() if self.accept("else") else None
+        return ast.If(line=line, cond=cond, then=then, other=other)
+
+    def parse_while(self) -> ast.While:
+        line = self.tok.line
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.While(line=line, cond=cond, body=body)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        line = self.tok.line
+        self.expect("do")
+        body = self.parse_statement()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(line=line, body=body, cond=cond)
+
+    def parse_for(self) -> ast.For:
+        line = self.tok.line
+        self.expect("for")
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.accept(";"):
+            if self.at_type():
+                init = self.parse_local_decl()
+            else:
+                init = ast.ExprStmt(line=line, expr=self.parse_expr())
+                self.expect(";")
+        cond = None if self.tok.text == ";" else self.parse_expr()
+        self.expect(";")
+        step = None if self.tok.text == ")" else self.parse_expr()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.For(line=line, init=init, cond=cond, step=step, body=body)
+
+    # -------------------------------------------------------- expressions
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.tok.text == ",":   # comma operator (rare; for loops)
+            self.advance()
+            right = self.parse_assignment()
+            expr = ast.Binary(line=expr.line, op=",", left=expr, right=right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_conditional()
+        tok = self.tok
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(line=tok.line, op=tok.text, target=left,
+                              value=value)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.tok.text != "?":
+            return cond
+        line = self.advance().line
+        then = self.parse_assignment()
+        self.expect(":")
+        other = self.parse_conditional()
+        return ast.Conditional(line=line, cond=cond, then=then, other=other)
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.tok
+            prec = _PRECEDENCE.get(tok.text, 0) if tok.kind == "op" else 0
+            if prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(line=tok.line, op=tok.text, left=left,
+                              right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.text == "sizeof":
+            self.advance()
+            self.expect("(")
+            if not self.at_type():
+                self.fail("sizeof requires a type name in minic")
+            ty = self.parse_pointers(self.parse_base_type())
+            ty = self.parse_array_suffix(ty)
+            self.expect(")")
+            return ast.SizeofType(line=tok.line, type=ty)
+        if tok.text == "(" and self._is_cast():
+            self.advance()
+            ty = self.parse_pointers(self.parse_base_type())
+            self.expect(")")
+            operand = self.parse_unary()
+            return ast.Cast(line=tok.line, type=ty, operand=operand)
+        return self.parse_postfix()
+
+    def _is_cast(self) -> bool:
+        nxt = self.peek()
+        return (nxt.kind == "kw"
+                and (nxt.text in _BASE_TYPES or nxt.text == "struct"))
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.tok
+            if tok.text == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(line=tok.line, base=expr, index=index)
+            elif tok.text == ".":
+                self.advance()
+                name = self.expect_ident()
+                expr = ast.Member(line=tok.line, base=expr, name=name)
+            elif tok.text == "->":
+                self.advance()
+                name = self.expect_ident()
+                expr = ast.Member(line=tok.line, base=expr, name=name,
+                                  arrow=True)
+            elif tok.text in ("++", "--"):
+                self.advance()
+                expr = ast.Postfix(line=tok.line, op=tok.text, operand=expr)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=tok.line, value=tok.value)
+        if tok.kind == "floatf":
+            self.advance()
+            return ast.FloatLit(line=tok.line, value=tok.value,
+                                is_single=True)
+        if tok.kind == "string":
+            self.advance()
+            return ast.StrLit(line=tok.line, value=tok.value)
+        if tok.kind == "ident":
+            if self.peek().text == "(":
+                name = self.advance().text
+                self.expect("(")
+                args = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                return ast.Call(line=tok.line, name=name, args=args)
+            self.advance()
+            return ast.Ident(line=tok.line, name=tok.text)
+        if tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        self.fail(f"unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse minic source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,211 @@
+"""Type model for minic, the C subset compiled onto D16 and DLXe.
+
+Scalar types: ``char`` (1 byte, signed), ``int`` (4 bytes, signed),
+``float`` (4), ``double`` (8).  Derived types: pointers, fixed-size
+arrays, and plain structs.  Pointers and ``int`` share machine word
+representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TypeError_(Exception):
+    """Semantic type error in the source program."""
+
+
+class Type:
+    """Base class; use the singletons and constructors below."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return "type"
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntType, CharType, FloatType, DoubleType,
+                                 PointerType))
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, (FloatType, DoubleType))
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_integer or self.is_float
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    size: int = 0
+    align: int = 1
+
+    def __str__(self):
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    size: int = 4
+    align: int = 4
+
+    def __str__(self):
+        return "int"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    size: int = 1
+    align: int = 1
+
+    def __str__(self):
+        return "char"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    size: int = 4
+    align: int = 4
+
+    def __str__(self):
+        return "float"
+
+
+@dataclass(frozen=True)
+class DoubleType(Type):
+    size: int = 8
+    align: int = 4   # accessed as two words; word alignment suffices
+
+    def __str__(self):
+        return "double"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    target: Type = field(default_factory=IntType)
+    size: int = 4
+    align: int = 4
+
+    def __str__(self):
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type = field(default_factory=IntType)
+    length: int = 0
+
+    def __str__(self):
+        return f"{self.element}[{self.length}]"
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.length
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+    offset: int
+
+
+@dataclass(eq=False)
+class StructType(Type):
+    """Struct type; identity-compared and mutable so self-referential
+    definitions (``struct T *next`` inside ``struct T``) can be filled
+    in after the placeholder is registered."""
+
+    name: str
+    fields: tuple[StructField, ...] = ()
+
+    def __str__(self):
+        return f"struct {self.name}"
+
+    @property
+    def size(self) -> int:
+        if not self.fields:
+            return 0
+        last = self.fields[-1]
+        raw = last.offset + last.type.size
+        return (raw + self.align - 1) // self.align * self.align
+
+    @property
+    def align(self) -> int:
+        return max((f.type.align for f in self.fields), default=1)
+
+    def field_named(self, name: str) -> StructField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise TypeError_(f"struct {self.name} has no member {name!r}")
+
+
+VOID = VoidType()
+INT = IntType()
+CHAR = CharType()
+FLOAT = FloatType()
+DOUBLE = DoubleType()
+
+
+def pointer_to(target: Type) -> PointerType:
+    return PointerType(target=target)
+
+
+def layout_struct(name: str, members: list[tuple[str, Type]],
+                  into: StructType | None = None) -> StructType:
+    """Compute field offsets with natural alignment.
+
+    Pass ``into`` to fill a previously registered placeholder (for
+    self-referential structs)."""
+    fields = []
+    offset = 0
+    for member_name, ty in members:
+        offset = (offset + ty.align - 1) // ty.align * ty.align
+        fields.append(StructField(member_name, ty, offset))
+        offset += ty.size
+    if into is not None:
+        into.fields = tuple(fields)
+        return into
+    return StructType(name=name, fields=tuple(fields))
+
+
+def decay(ty: Type) -> Type:
+    """Array-to-pointer decay in expression contexts."""
+    if isinstance(ty, ArrayType):
+        return pointer_to(ty.element)
+    return ty
+
+
+def common_arithmetic(a: Type, b: Type) -> Type:
+    """C's usual arithmetic conversions, restricted to minic's types."""
+    if not (a.is_arithmetic and b.is_arithmetic):
+        raise TypeError_(f"cannot combine {a} and {b} arithmetically")
+    if isinstance(a, DoubleType) or isinstance(b, DoubleType):
+        return DOUBLE
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        return FLOAT
+    return INT
+
+
+def ir_class(ty: Type) -> str:
+    """IR value class of a scalar type: 'i', 'f', or 'd'."""
+    if isinstance(ty, FloatType):
+        return "f"
+    if isinstance(ty, DoubleType):
+        return "d"
+    if ty.is_integer or ty.is_pointer:
+        return "i"
+    raise TypeError_(f"{ty} has no scalar IR class")

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile``  — minic source to assembly listing
+* ``run``      — compile and execute, with optional statistics
+* ``disasm``   — compile and disassemble the linked image
+* ``bench``    — run benchmark programs on several targets, one table
+* ``targets``  — list compiler configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import SUITE, get_benchmark
+from .cc import TARGETS, build_executable, compile_to_assembly
+from .machine import cycles_no_cache, run_executable
+
+
+def _add_target(parser, default="d16"):
+    parser.add_argument("-t", "--target", default=default,
+                        choices=sorted(TARGETS),
+                        help="compiler configuration (default %(default)s)")
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_compile(args) -> int:
+    assembly = compile_to_assembly(_read_source(args.file), args.target,
+                                   include_runtime=not args.no_runtime,
+                                   opt_level=args.opt)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(assembly)
+    else:
+        print(assembly, end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = build_executable(_read_source(args.file), args.target,
+                              include_runtime=not args.no_runtime,
+                              opt_level=args.opt)
+    stdin = b""
+    if args.stdin:
+        with open(args.stdin, "rb") as handle:
+            stdin = handle.read()
+    stats, _machine = run_executable(result.executable, stdin=stdin)
+    sys.stdout.write(stats.output)
+    if args.stats:
+        print(f"\n--- {args.target} statistics ---", file=sys.stderr)
+        print(f"binary size : {result.binary_size} bytes "
+              f"(text {result.executable.text_size})", file=sys.stderr)
+        print(f"path length : {stats.instructions}", file=sys.stderr)
+        print(f"loads/stores: {stats.loads}/{stats.stores}",
+              file=sys.stderr)
+        print(f"interlocks  : {stats.interlocks} "
+              f"(load {stats.load_interlocks}, "
+              f"math {stats.math_interlocks})", file=sys.stderr)
+        print(f"fetch words : {stats.ifetch_words}", file=sys.stderr)
+        for wait_states in (0, 1, 2, 3):
+            cycles = cycles_no_cache(stats, latency=wait_states)
+            print(f"cycles @ {wait_states} ws: {cycles} "
+                  f"(CPI {cycles / stats.instructions:.2f})",
+                  file=sys.stderr)
+    return stats.exit_code
+
+
+def cmd_disasm(args) -> int:
+    from .asm import format_listing
+
+    result = build_executable(_read_source(args.file), args.target,
+                              include_runtime=not args.no_runtime,
+                              opt_level=args.opt)
+    print(format_listing(result.executable, count=args.count))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .experiments import Lab
+
+    lab = Lab()
+    names = args.names or [bench.name for bench in SUITE]
+    targets = args.targets.split(",")
+    header = f"{'program':12s}" + "".join(
+        f"{t + ' size':>16s}{t + ' path':>16s}" for t in targets)
+    print(header)
+    for name in names:
+        get_benchmark(name)       # validate early
+        row = f"{name:12s}"
+        for target in targets:
+            run = lab.run(name, target)
+            row += f"{run.binary_size:16d}{run.path_length:16d}"
+        print(row)
+    return 0
+
+
+def cmd_targets(_args) -> int:
+    for name in sorted(TARGETS):
+        spec = TARGETS[name]
+        print(f"{name:12s} isa={spec.isa.name:5s} "
+              f"regs={spec.num_gregs:2d} "
+              f"{'3-addr' if spec.three_address else '2-addr'} "
+              f"{'wide-imm' if spec.wide_immediates else 'narrow-imm'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D16 vs DLXe toolchain (ISCA 1993 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile minic to assembly")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-runtime", action="store_true")
+    p.add_argument("-O", "--opt", type=int, default=2)
+    _add_target(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    p.add_argument("file")
+    p.add_argument("--stats", action="store_true",
+                   help="print simulator statistics to stderr")
+    p.add_argument("--stdin", help="file supplying simulated stdin")
+    p.add_argument("--no-runtime", action="store_true")
+    p.add_argument("-O", "--opt", type=int, default=2)
+    _add_target(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("disasm", help="compile and disassemble")
+    p.add_argument("file")
+    p.add_argument("-n", "--count", type=int, default=None)
+    p.add_argument("--no-runtime", action="store_true")
+    p.add_argument("-O", "--opt", type=int, default=2)
+    _add_target(p)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("bench", help="benchmark table")
+    p.add_argument("names", nargs="*",
+                   help="benchmark names (default: all)")
+    p.add_argument("--targets", default="d16,dlxe",
+                   help="comma-separated target list")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("targets", help="list compiler configurations")
+    p.set_defaults(fn=cmd_targets)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Cache experiments (paper Section 4.1 and Appendix A.3: Figures 16-19,
+Tables 13-16).
+
+The three cache programs (assem, latex, ipl) run once per ISA with full
+address tracing; the traces then drive direct-mapped, sub-blocked split
+I/D caches across the paper's parameter grid (sizes 1K-16K, block sizes
+8-64, 8-byte sub-blocks, wrap-around read prefetch).
+
+Cycle model with caches (Appendix A.3)::
+
+    Cycles = IC + Interlocks + MissPenalty * (IMiss + RMiss + WMiss)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache import CacheConfig, CacheRates, simulate_caches
+from .report import format_series, format_table
+from .runner import Lab, TraceRun
+
+CACHE_PROGRAMS = ("assem", "latex", "ipl")
+CACHE_SIZES = (1024, 2048, 4096, 8192, 16384)
+BLOCK_SIZES = (8, 16, 32, 64)
+SUB_BLOCK = 8
+MISS_PENALTIES = (4, 8, 12, 16)
+
+
+@dataclass
+class CachePoint:
+    """Miss rates for one (program, ISA, size, block) cell."""
+
+    program: str
+    target: str
+    size: int
+    block: int
+    rates: CacheRates
+
+    @property
+    def key(self):
+        return (self.program, self.target, self.size, self.block)
+
+
+@dataclass
+class CacheStudy:
+    """All measurements for a grid of cache configurations."""
+
+    points: dict[tuple, CachePoint]
+    traces: dict[tuple[str, str], TraceRun]
+
+    def point(self, program: str, target: str, size: int,
+              block: int) -> CachePoint:
+        return self.points[(program, target, size, block)]
+
+    def cycles(self, program: str, target: str, size: int, block: int,
+               penalty: int) -> int:
+        point = self.point(program, target, size, block)
+        stats = self.traces[(program, target)].run.stats
+        return (stats.instructions + stats.interlocks
+                + penalty * point.rates.total_misses)
+
+
+def run_cache_study(lab: Lab, programs=CACHE_PROGRAMS, *,
+                    sizes=CACHE_SIZES, blocks=BLOCK_SIZES,
+                    targets=("d16", "dlxe"),
+                    sub_block: int = SUB_BLOCK) -> CacheStudy:
+    """Simulate the cache grid over traced runs."""
+    points: dict[tuple, CachePoint] = {}
+    traces: dict[tuple[str, str], TraceRun] = {}
+    for program in programs:
+        for target in targets:
+            trace = lab.trace(program, target)
+            traces[(program, target)] = trace
+            for size in sizes:
+                for block in blocks:
+                    if block < sub_block:
+                        continue
+                    config = CacheConfig(size=size, block=block,
+                                         sub_block=sub_block)
+                    rates = simulate_caches(
+                        trace.itrace, trace.dtrace, trace.run.stats,
+                        icache=config, dcache=config)
+                    point = CachePoint(program=program, target=target,
+                                       size=size, block=block, rates=rates)
+                    points[point.key] = point
+    return CacheStudy(points=points, traces=traces)
+
+
+# ------------------------------------------------------------- Table 13
+
+
+def format_table13(study: CacheStudy) -> str:
+    headers = ["Program", "ISA", "IC", "ilock rate", "I fetches",
+               "D reads", "D writes"]
+    rows = []
+    for (program, target), trace in sorted(study.traces.items()):
+        stats = trace.run.stats
+        rows.append([program, target, stats.instructions,
+                     f"{stats.interlock_rate:.3f}",
+                     stats.ifetch_words, stats.loads, stats.stores])
+    return format_table(headers, rows,
+                        title="Table 13: traffic and interlocks for "
+                              "cache benchmarks")
+
+
+# --------------------------------------------------------- Tables 14-16
+
+
+def format_miss_rate_table(study: CacheStudy, program: str) -> str:
+    """Tables 14-16: miss rates across the size x block grid."""
+    headers = ["Size", "Block", "I D16", "I DLXe", "R D16", "R DLXe",
+               "W D16", "W DLXe"]
+    rows = []
+    sizes = sorted({key[2] for key in study.points
+                    if key[0] == program})
+    blocks = sorted({key[3] for key in study.points
+                     if key[0] == program})
+    for size in sizes:
+        for block in blocks:
+            d16 = study.point(program, "d16", size, block).rates
+            dlxe = study.point(program, "dlxe", size, block).rates
+            rows.append([f"{size // 1024}k", block,
+                         d16.imiss_rate, dlxe.imiss_rate,
+                         d16.rmiss_rate, dlxe.rmiss_rate,
+                         d16.wmiss_rate, dlxe.wmiss_rate])
+    return format_table(headers, rows, precision=3,
+                        title=f"Tables 14-16: cache miss rates for "
+                              f"{program}")
+
+
+# ------------------------------------------------------------- Figure 16
+
+
+def format_figure16(study: CacheStudy, *, block: int = 32) -> str:
+    """Figure 16: instruction-cache miss rates vs size."""
+    parts = []
+    programs = sorted({key[0] for key in study.points})
+    sizes = sorted({key[2] for key in study.points})
+    for program in programs:
+        series = {
+            "D16": [study.point(program, "d16", s, block).rates.imiss_rate
+                    for s in sizes],
+            "DLXe": [study.point(program, "dlxe", s, block).rates.imiss_rate
+                     for s in sizes],
+        }
+        parts.append(format_series(
+            f"Figure 16 ({program}): I-cache miss rate per instruction",
+            "size", [f"{s // 1024}K" for s in sizes], series))
+    return "\n\n".join(parts)
+
+
+# --------------------------------------------------------- Figures 17-18
+
+
+def format_figures_17_18(study: CacheStudy, *, size: int,
+                         block: int = 32,
+                         penalties=MISS_PENALTIES) -> str:
+    """Figures 17 (4K caches) and 18 (16K): CPI vs miss penalty."""
+    figure = 17 if size == 4096 else 18
+    parts = []
+    programs = sorted({key[0] for key in study.points})
+    for program in programs:
+        dlxe_ic = study.traces[(program, "dlxe")].run.stats.instructions
+        d16_ic = study.traces[(program, "d16")].run.stats.instructions
+        series = {
+            "DLXe": [study.cycles(program, "dlxe", size, block, p) / dlxe_ic
+                     for p in penalties],
+            "D16": [study.cycles(program, "d16", size, block, p) / d16_ic
+                    for p in penalties],
+            "D16 normalized": [
+                study.cycles(program, "d16", size, block, p) / dlxe_ic
+                for p in penalties],
+        }
+        parts.append(format_series(
+            f"Figure {figure} ({program}, {size // 1024}K caches): CPI",
+            "miss penalty", list(penalties), series))
+    return "\n\n".join(parts)
+
+
+# ------------------------------------------------------------- Figure 19
+
+
+def format_figure19(study: CacheStudy, *, block: int = 32,
+                    penalty: int = 4) -> str:
+    """Figure 19: instruction traffic in words/cycle vs cache size."""
+    parts = []
+    programs = sorted({key[0] for key in study.points})
+    sizes = sorted({key[2] for key in study.points})
+    for program in programs:
+        series = {"D16": [], "DLXe": []}
+        for target in ("d16", "dlxe"):
+            label = "D16" if target == "d16" else "DLXe"
+            for size in sizes:
+                point = study.point(program, target, size, block)
+                cycles = study.cycles(program, target, size, block,
+                                      penalty)
+                series[label].append(
+                    point.rates.itraffic_words / cycles)
+        parts.append(format_series(
+            f"Figure 19 ({program}): I-traffic words/cycle "
+            f"(penalty {penalty})",
+            "size", [f"{s // 1024}K" for s in sizes], series))
+    return "\n\n".join(parts)

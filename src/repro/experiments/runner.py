@@ -1,0 +1,146 @@
+"""Shared infrastructure for the paper's experiments.
+
+:class:`Lab` compiles and runs (benchmark, target) pairs once and
+memoizes the results, since most experiments slice the same underlying
+measurements different ways.  Traces for the cache experiments are
+gathered lazily and kept only for the three cache programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..bench import SUITE, Benchmark, check_output, get_benchmark
+from ..cc import build_executable, get_target
+from ..machine import RunStats, run_executable
+from ..machine.pipeline import PipelineParams
+
+#: The paper's five compiler configurations (Table 5-7 columns).
+PAPER_TARGETS = ("d16", "dlxe/16/2", "dlxe/16/3", "dlxe/32/2", "dlxe")
+
+#: Shorthand: the two headline machines.
+MAIN_TARGETS = ("d16", "dlxe")
+
+
+@dataclass
+class ProgramRun:
+    """One benchmark compiled and executed on one target."""
+
+    bench: Benchmark
+    target_name: str
+    stats: RunStats
+    binary_size: int
+    text_size: int
+
+    @property
+    def path_length(self) -> int:
+        return self.stats.instructions
+
+
+@dataclass
+class TraceRun:
+    """A run with full instruction/data address traces captured."""
+
+    run: ProgramRun
+    itrace: object        # array('I') of instruction addresses
+    dtrace: object        # array('I') of tagged data addresses
+
+
+class ExperimentError(Exception):
+    pass
+
+
+class Lab:
+    """Compiles, runs, and caches benchmark executions."""
+
+    def __init__(self, *, params: PipelineParams | None = None,
+                 verify_output: bool = True):
+        self.params = params or PipelineParams()
+        self.verify_output = verify_output
+        self._runs: dict[tuple[str, str], ProgramRun] = {}
+        self._traces: dict[tuple[str, str], TraceRun] = {}
+        self._executables: dict[tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------ access
+
+    def executable(self, bench_name: str, target_name: str):
+        key = (bench_name, target_name)
+        if key not in self._executables:
+            bench = get_benchmark(bench_name)
+            result = build_executable(bench.source, get_target(target_name))
+            self._executables[key] = result.executable
+        return self._executables[key]
+
+    def run(self, bench_name: str, target_name: str) -> ProgramRun:
+        """Compile and execute (memoized)."""
+        key = (bench_name, target_name)
+        if key in self._runs:
+            return self._runs[key]
+        bench = get_benchmark(bench_name)
+        exe = self.executable(bench_name, target_name)
+        stats, _machine = run_executable(exe, params=self.params)
+        if self.verify_output and not check_output(bench, stats.output):
+            raise ExperimentError(
+                f"{bench_name} on {target_name} produced unexpected "
+                f"output: {stats.output!r}")
+        run = ProgramRun(bench=bench, target_name=target_name, stats=stats,
+                         binary_size=exe.binary_size,
+                         text_size=exe.text_size)
+        self._runs[key] = run
+        return run
+
+    def trace(self, bench_name: str, target_name: str) -> TraceRun:
+        """Execute with address tracing (memoized; memory-heavy)."""
+        key = (bench_name, target_name)
+        if key in self._traces:
+            return self._traces[key]
+        bench = get_benchmark(bench_name)
+        exe = self.executable(bench_name, target_name)
+        stats, machine = run_executable(
+            exe, params=self.params,
+            trace_instructions=True, trace_data=True)
+        if self.verify_output and not check_output(bench, stats.output):
+            raise ExperimentError(
+                f"{bench_name} on {target_name} produced unexpected "
+                f"output: {stats.output!r}")
+        run = ProgramRun(bench=bench, target_name=target_name, stats=stats,
+                         binary_size=exe.binary_size,
+                         text_size=exe.text_size)
+        trace = TraceRun(run=run, itrace=machine.itrace,
+                         dtrace=machine.dtrace)
+        self._traces[key] = trace
+        return trace
+
+    def runs(self, programs: Iterable[str] | None = None,
+             targets: Iterable[str] = MAIN_TARGETS,
+             ) -> dict[str, dict[str, ProgramRun]]:
+        """Run a program x target grid; returns runs[program][target]."""
+        names = list(programs) if programs is not None \
+            else [bench.name for bench in SUITE]
+        grid: dict[str, dict[str, ProgramRun]] = {}
+        for name in names:
+            grid[name] = {t: self.run(name, t) for t in targets}
+        return grid
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def default_programs(fast: bool = False) -> list[str]:
+    """Benchmark subset: everything, or a quick representative set."""
+    if fast:
+        return ["ackermann", "queens", "dhrystone", "solver"]
+    return [bench.name for bench in SUITE]

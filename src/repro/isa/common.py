@@ -1,0 +1,69 @@
+"""Shared low-level helpers and constants for the D16 and DLXe ISAs.
+
+Both instruction sets describe the same 32-bit, byte-addressed machine:
+words are 4 bytes, halfwords 2 bytes, and all values are little-endian.
+"""
+
+from __future__ import annotations
+
+WORD_BYTES = 4
+HALF_BYTES = 2
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+HALF_MASK = 0xFFFF
+BYTE_MASK = 0xFF
+
+# Register-role conventions shared by both ISAs (see DESIGN.md).  DLXe
+# additionally fixes r0 = 0; D16 uses r0 as the implicit compare result.
+REG_ZERO = 0          # DLXe hardwired zero / D16 compare destination
+REG_LINK = 1          # linkage register for jl (both ISAs, per the paper)
+REG_RET = 2           # integer return value
+REG_ARG_FIRST = 2     # first integer argument register
+REG_ARG_COUNT = 4     # r2..r5 carry arguments
+FREG_RET = 0          # FP return value (f0, or f0:f1 for doubles)
+FREG_ARG_FIRST = 2    # first FP argument register (even, so pairs fit)
+FREG_ARG_COUNT = 4    # f2,f4,f6,f8 (pairs for doubles)
+
+
+class IsaError(Exception):
+    """Base class for ISA-level errors."""
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be represented in the target encoding."""
+
+
+class DecodingError(IsaError):
+    """A bit pattern does not decode to a valid instruction."""
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a two's-complement number."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True if ``value`` is representable as a ``bits``-bit signed field."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """True if ``value`` is representable as a ``bits``-bit unsigned field."""
+    return 0 <= value < (1 << bits)
+
+
+def to_u32(value: int) -> int:
+    """Wrap an arbitrary Python int into the machine's 32-bit word."""
+    return value & WORD_MASK
+
+
+def to_s32(value: int) -> int:
+    """Interpret a word as a signed 32-bit value."""
+    return sign_extend(value, WORD_BITS)

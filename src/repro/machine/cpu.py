@@ -1,0 +1,629 @@
+"""The architecture simulator: functional execution + pipeline timing.
+
+:class:`Machine` loads a linked executable (either ISA), pre-decodes its
+text segment, and executes it while accounting the paper's performance
+quantities in a single pass:
+
+* path length (instruction count),
+* delayed-load and math-unit interlock cycles (the rules of
+  :class:`repro.machine.pipeline.HazardModel`, implemented inline for
+  speed and cross-checked against it in the test suite),
+* word- and doubleword-granularity instruction fetch transactions,
+  modelling the fetch buffer of a 32- or 64-bit memory port: a new
+  transaction is counted whenever execution leaves the currently
+  buffered word/doubleword, including after taken control transfers,
+* optional instruction/data address traces for the cache simulator.
+
+Each decoded instruction is compiled to a small Python closure that
+mutates the architectural state and returns the next PC, which keeps the
+interpreter loop tight without sacrificing one-instruction-at-a-time
+clarity.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+
+from ..asm.objfile import Executable
+from ..isa import DecodingError, Instr, Op, OpKind, get_isa
+from ..isa.common import to_s32
+from ..isa.operations import Cond
+from .memory import Memory, MemoryError_
+from .pipeline import PipelineParams, hazard_indices
+from .stats import RunStats
+from .traps import TrapHandler
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class MachineError(Exception):
+    """Runtime failure of the simulated machine."""
+
+
+def _f32_bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def _float_to_f32_bits(value: float) -> int:
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        sign = 0x80000000 if value < 0 else 0
+        return sign | 0x7F800000  # +/- infinity
+
+
+def _f64_bits_to_float(lo: int, hi: int) -> float:
+    return struct.unpack("<d", struct.pack("<II", lo, hi))[0]
+
+
+def _float_to_f64_bits(value: float) -> tuple[int, int]:
+    lo, hi = struct.unpack("<II", struct.pack("<d", value))
+    return lo, hi
+
+
+def _clamp_s32(value: float) -> int:
+    value = int(value)  # truncate toward zero
+    if value > 0x7FFFFFFF:
+        value = 0x7FFFFFFF
+    elif value < -0x80000000:
+        value = -0x80000000
+    return value & WORD_MASK
+
+
+_INT_CMP = {
+    Cond.LT: lambda a, b: to_s32(a) < to_s32(b),
+    Cond.LTU: lambda a, b: a < b,
+    Cond.LE: lambda a, b: to_s32(a) <= to_s32(b),
+    Cond.LEU: lambda a, b: a <= b,
+    Cond.EQ: lambda a, b: a == b,
+    Cond.NE: lambda a, b: a != b,
+    Cond.GT: lambda a, b: to_s32(a) > to_s32(b),
+    Cond.GTU: lambda a, b: a > b,
+    Cond.GE: lambda a, b: to_s32(a) >= to_s32(b),
+    Cond.GEU: lambda a, b: a >= b,
+}
+
+_FLOAT_CMP = {
+    Cond.LT: lambda a, b: a < b,
+    Cond.LTU: lambda a, b: a < b,
+    Cond.LE: lambda a, b: a <= b,
+    Cond.LEU: lambda a, b: a <= b,
+    Cond.EQ: lambda a, b: a == b,
+    Cond.NE: lambda a, b: a != b,
+    Cond.GT: lambda a, b: a > b,
+    Cond.GTU: lambda a, b: a > b,
+    Cond.GE: lambda a, b: a >= b,
+    Cond.GEU: lambda a, b: a >= b,
+}
+
+_INT_ALU = {
+    Op.ADD: lambda a, b: (a + b) & WORD_MASK,
+    Op.SUB: lambda a, b: (a - b) & WORD_MASK,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHRA: lambda a, b: (to_s32(a) >> (b & 31)) & WORD_MASK,
+    Op.SHR: lambda a, b: a >> (b & 31),
+    Op.SHL: lambda a, b: (a << (b & 31)) & WORD_MASK,
+}
+
+_INT_ALU_IMM = {
+    Op.ADDI: Op.ADD, Op.SUBI: Op.SUB, Op.ANDI: Op.AND, Op.ORI: Op.OR,
+    Op.XORI: Op.XOR, Op.SHRAI: Op.SHRA, Op.SHRI: Op.SHR, Op.SHLI: Op.SHL,
+}
+
+_FP3_SINGLE = {
+    Op.ADD_SF: lambda a, b: a + b,
+    Op.SUB_SF: lambda a, b: a - b,
+    Op.MUL_SF: lambda a, b: a * b,
+    Op.DIV_SF: lambda a, b: a / b,
+}
+
+_FP3_DOUBLE = {
+    Op.ADD_DF: lambda a, b: a + b,
+    Op.SUB_DF: lambda a, b: a - b,
+    Op.MUL_DF: lambda a, b: a * b,
+    Op.DIV_DF: lambda a, b: a / b,
+}
+
+
+class Machine:
+    """A loaded program plus architectural state, ready to run."""
+
+    def __init__(self, exe: Executable, *, params: PipelineParams | None = None,
+                 stdin: bytes = b"", mem_size: int = 0x0010_0000,
+                 trace_instructions: bool = False, trace_data: bool = False):
+        self.exe = exe
+        self.isa = get_isa(exe.isa_name)
+        self.params = params or PipelineParams()
+        self.mem = Memory(mem_size)
+        self.mem.load_executable(exe)
+        self.g = [0] * 32
+        self.f = [0] * 32
+        self.fpstat = [0]
+        self.pc = exe.entry
+        self.halted = False
+        heap_base = (exe.data_base + len(exe.data) + 15) & ~15
+        self.traps = TrapHandler(stdin=stdin, heap_base=heap_base,
+                                 heap_limit=mem_size - 0x1_0000)
+        self.itrace: array | None = array("I") if trace_instructions else None
+        self.dtrace: array | None = array("I") if trace_data else None
+        self._decode_text()
+
+    # -------------------------------------------------------- decoding
+
+    def _decode_text(self) -> None:
+        isa = self.isa
+        text = self.exe.text
+        width = isa.width_bytes
+        count = len(text) // width
+        self.program: list[Instr | None] = []
+        self.handlers: list = []
+        self.reads_l: list[tuple[int, ...]] = []
+        self.writes_l: list[tuple[int, ...]] = []
+        self.mlat: list[int] = []
+        self.is_load: list[bool] = []
+        self.counts = [0] * count
+        for idx in range(count):
+            try:
+                instr = isa.decode_bytes(text, idx * width)
+            except DecodingError:
+                instr = None  # constant-pool data inside text
+            self.program.append(instr)
+            if instr is None:
+                self.handlers.append(None)
+                self.reads_l.append(())
+                self.writes_l.append(())
+                self.mlat.append(0)
+                self.is_load.append(False)
+                continue
+            reads, writes = hazard_indices(instr)
+            self.reads_l.append(reads)
+            self.writes_l.append(writes)
+            info = instr.info
+            latency = (self.params.latency_of(info.math_class)
+                       if info.kind == OpKind.MATH else 0)
+            self.mlat.append(latency)
+            self.is_load.append(info.kind == OpKind.LOAD)
+            self.handlers.append(self._compile(instr))
+
+    def _compile(self, instr: Instr):
+        """Build the execution closure for one decoded instruction."""
+        op = instr.op
+        width = self.isa.width_bytes
+        g, f = self.g, self.f
+        mem = self.mem
+        m = self
+        rd, rs1, rs2, imm, cond = (instr.rd, instr.rs1, instr.rs2,
+                                   instr.imm, instr.cond)
+        zero_r0 = self.isa.name == "DLXe"
+
+        handler = self._compile_inner(instr, width, g, f, mem, m,
+                                      rd, rs1, rs2, imm, cond)
+        if zero_r0 and rd == 0 and "rd" in instr.info.writes \
+                and instr.info.reg_class.get("rd") == "g":
+            inner = handler
+
+            def zeroed(pc, _inner=inner):
+                next_pc = _inner(pc)
+                g[0] = 0
+                return next_pc
+            return zeroed
+        return handler
+
+    def _compile_inner(self, instr, width, g, f, mem, m,
+                       rd, rs1, rs2, imm, cond):
+        op = instr.op
+
+        # ---- integer ALU -------------------------------------------------
+        if op in _INT_ALU:
+            fn = _INT_ALU[op]
+
+            def alu(pc):
+                g[rd] = fn(g[rs1], g[rs2])
+                return pc + width
+            return alu
+        if op in _INT_ALU_IMM:
+            fn = _INT_ALU[_INT_ALU_IMM[op]]
+            uimm = imm & WORD_MASK
+
+            def alui(pc):
+                g[rd] = fn(g[rs1], uimm)
+                return pc + width
+            return alui
+        if op == Op.NEG:
+            def neg(pc):
+                g[rd] = (-g[rs1]) & WORD_MASK
+                return pc + width
+            return neg
+        if op == Op.INV:
+            def inv(pc):
+                g[rd] = g[rs1] ^ WORD_MASK
+                return pc + width
+            return inv
+        if op == Op.MV:
+            def mv(pc):
+                g[rd] = g[rs1]
+                return pc + width
+            return mv
+        if op == Op.MVI:
+            value = imm & WORD_MASK
+
+            def mvi(pc):
+                g[rd] = value
+                return pc + width
+            return mvi
+        if op == Op.MVHI:
+            value = (imm << 16) & WORD_MASK
+
+            def mvhi(pc):
+                g[rd] = value
+                return pc + width
+            return mvhi
+        if op == Op.CMP:
+            fn = _INT_CMP[cond]
+
+            def cmp_(pc):
+                g[rd] = 1 if fn(g[rs1], g[rs2]) else 0
+                return pc + width
+            return cmp_
+        if op == Op.CMPI:
+            fn = _INT_CMP[cond]
+            uimm = imm & WORD_MASK
+
+            def cmpi(pc):
+                g[rd] = 1 if fn(g[rs1], uimm) else 0
+                return pc + width
+            return cmpi
+        if op == Op.MUL:
+            def mul(pc):
+                g[rd] = (to_s32(g[rs1]) * to_s32(g[rs2])) & WORD_MASK
+                return pc + width
+            return mul
+        if op in (Op.DIV, Op.REM):
+            want_rem = op == Op.REM
+
+            def divrem(pc):
+                a, b = to_s32(g[rs1]), to_s32(g[rs2])
+                if b == 0:
+                    raise MachineError(f"division by zero at pc={pc:#x}")
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                r = a - q * b
+                g[rd] = (r if want_rem else q) & WORD_MASK
+                return pc + width
+            return divrem
+
+        # ---- memory ------------------------------------------------------
+        if op in (Op.LD, Op.LDH, Op.LDHU, Op.LDB, Op.LDBU):
+            reader = {
+                Op.LD: mem.read_word,
+                Op.LDH: lambda a: mem.read_half(a, signed=True),
+                Op.LDHU: mem.read_half,
+                Op.LDB: lambda a: mem.read_byte(a, signed=True),
+                Op.LDBU: mem.read_byte,
+            }[op]
+
+            def load(pc):
+                addr = (g[rs1] + imm) & WORD_MASK
+                value = reader(addr)
+                if m.dtrace is not None:
+                    m.dtrace.append(addr & ~3)
+                g[rd] = value & WORD_MASK
+                return pc + width
+            return load
+        if op == Op.LDC:
+            def ldc(pc):
+                addr = (pc & ~3) + imm
+                value = mem.read_word(addr)
+                if m.dtrace is not None:
+                    m.dtrace.append(addr)
+                g[rd] = value
+                return pc + width
+            return ldc
+        if op in (Op.ST, Op.STH, Op.STB):
+            writer = {Op.ST: mem.write_word, Op.STH: mem.write_half,
+                      Op.STB: mem.write_byte}[op]
+
+            def store(pc):
+                addr = (g[rs1] + imm) & WORD_MASK
+                writer(addr, g[rs2])
+                if m.dtrace is not None:
+                    m.dtrace.append((addr & ~3) | 1)
+                return pc + width
+            return store
+
+        # ---- control -----------------------------------------------------
+        if op == Op.BR:
+            def br(pc):
+                return pc + imm
+            return br
+        if op == Op.BZ:
+            def bz(pc):
+                return pc + imm if g[rs1] == 0 else pc + width
+            return bz
+        if op == Op.BNZ:
+            def bnz(pc):
+                return pc + imm if g[rs1] != 0 else pc + width
+            return bnz
+        if op == Op.J:
+            def jr(pc):
+                return g[rs1]
+            return jr
+        if op == Op.JZ:
+            def jz(pc):
+                return g[rs1] if g[rs2] == 0 else pc + width
+            return jz
+        if op == Op.JNZ:
+            def jnz(pc):
+                return g[rs1] if g[rs2] != 0 else pc + width
+            return jnz
+        if op == Op.JL:
+            def jl(pc):
+                g[1] = pc + width
+                return g[rs1]
+            return jl
+        if op == Op.JD:
+            def jd(pc):
+                return imm
+            return jd
+        if op == Op.JLD:
+            def jld(pc):
+                g[1] = pc + width
+                return imm
+            return jld
+
+        # ---- floating point ----------------------------------------------
+        if op in _FP3_SINGLE:
+            fn = _FP3_SINGLE[op]
+
+            def fp3s(pc):
+                a = _f32_bits_to_float(f[rs1])
+                b = _f32_bits_to_float(f[rs2])
+                f[rd] = _float_to_f32_bits(fn(a, b))
+                return pc + width
+            return fp3s
+        if op in _FP3_DOUBLE:
+            fn = _FP3_DOUBLE[op]
+
+            def fp3d(pc):
+                a = _f64_bits_to_float(f[rs1], f[rs1 + 1])
+                b = _f64_bits_to_float(f[rs2], f[rs2 + 1])
+                lo, hi = _float_to_f64_bits(fn(a, b))
+                f[rd], f[rd + 1] = lo, hi
+                return pc + width
+            return fp3d
+        if op == Op.NEG_SF:
+            def negs(pc):
+                f[rd] = f[rs1] ^ 0x80000000
+                return pc + width
+            return negs
+        if op == Op.NEG_DF:
+            def negd(pc):
+                f[rd] = f[rs1]
+                f[rd + 1] = f[rs1 + 1] ^ 0x80000000
+                return pc + width
+            return negd
+        if op == Op.CMP_SF:
+            fn = _FLOAT_CMP[cond]
+            fpstat = m.fpstat
+
+            def cmps(pc):
+                a = _f32_bits_to_float(f[rs1])
+                b = _f32_bits_to_float(f[rs2])
+                fpstat[0] = 1 if fn(a, b) else 0
+                return pc + width
+            return cmps
+        if op == Op.CMP_DF:
+            fn = _FLOAT_CMP[cond]
+            fpstat = m.fpstat
+
+            def cmpd(pc):
+                a = _f64_bits_to_float(f[rs1], f[rs1 + 1])
+                b = _f64_bits_to_float(f[rs2], f[rs2 + 1])
+                fpstat[0] = 1 if fn(a, b) else 0
+                return pc + width
+            return cmpd
+        if op == Op.SI2SF:
+            def si2sf(pc):
+                f[rd] = _float_to_f32_bits(float(to_s32(f[rs1])))
+                return pc + width
+            return si2sf
+        if op == Op.SI2DF:
+            def si2df(pc):
+                lo, hi = _float_to_f64_bits(float(to_s32(f[rs1])))
+                f[rd], f[rd + 1] = lo, hi
+                return pc + width
+            return si2df
+        if op == Op.SF2SI:
+            def sf2si(pc):
+                f[rd] = _clamp_s32(_f32_bits_to_float(f[rs1]))
+                return pc + width
+            return sf2si
+        if op == Op.DF2SI:
+            def df2si(pc):
+                f[rd] = _clamp_s32(_f64_bits_to_float(f[rs1], f[rs1 + 1]))
+                return pc + width
+            return df2si
+        if op == Op.SF2DF:
+            def sf2df(pc):
+                lo, hi = _float_to_f64_bits(_f32_bits_to_float(f[rs1]))
+                f[rd], f[rd + 1] = lo, hi
+                return pc + width
+            return sf2df
+        if op == Op.DF2SF:
+            def df2sf(pc):
+                f[rd] = _float_to_f32_bits(
+                    _f64_bits_to_float(f[rs1], f[rs1 + 1]))
+                return pc + width
+            return df2sf
+        if op == Op.MV_SF:
+            def mvsf(pc):
+                f[rd] = f[rs1]
+                return pc + width
+            return mvsf
+        if op == Op.MV_DF:
+            def mvdf(pc):
+                f[rd] = f[rs1]
+                f[rd + 1] = f[rs1 + 1]
+                return pc + width
+            return mvdf
+        if op == Op.MVIF:
+            def mvif(pc):
+                f[rd] = g[rs1]
+                return pc + width
+            return mvif
+        if op == Op.MVFI:
+            def mvfi(pc):
+                g[rd] = f[rs1]
+                return pc + width
+            return mvfi
+
+        # ---- special -----------------------------------------------------
+        if op == Op.TRAP:
+            traps = m.traps
+
+            def trap(pc):
+                result = traps.handle(imm, g[2])
+                if traps.exited:
+                    m.halted = True
+                elif result is not None:
+                    g[2] = result
+                return pc + width
+            return trap
+        if op == Op.RDSR:
+            fpstat = m.fpstat
+
+            def rdsr(pc):
+                g[rd] = fpstat[0]
+                return pc + width
+            return rdsr
+        if op == Op.NOP:
+            def nop(pc):
+                return pc + width
+            return nop
+        raise MachineError(f"no handler for {op.value}")  # pragma: no cover
+
+    # -------------------------------------------------------- execution
+
+    def run(self, max_instructions: int = 2_000_000_000) -> RunStats:
+        """Execute until the program exits; returns collected statistics."""
+        base = self.exe.text_base
+        shift = 1 if self.isa.width_bytes == 2 else 2
+        handlers = self.handlers
+        counts = self.counts
+        reads_l = self.reads_l
+        writes_l = self.writes_l
+        mlat = self.mlat
+        is_load = self.is_load
+        limit = len(handlers)
+        itrace = self.itrace
+
+        ready = [0] * 65
+        wkind = [0] * 65              # 0 = alu, 1 = load, 2 = math
+        math_free = 0
+        time = 0
+        interlocks = load_il = math_il = 0
+        ifw = ifd = 0
+        cur_word = cur_dword = -1
+        executed = 0
+        pc = self.pc
+
+        while not self.halted:
+            idx = (pc - base) >> shift
+            if idx < 0 or idx >= limit:
+                raise MachineError(f"PC {pc:#x} outside text segment")
+            handler = handlers[idx]
+            if handler is None:
+                raise MachineError(f"executed non-instruction at {pc:#x}")
+            counts[idx] += 1
+            executed += 1
+            if executed > max_instructions:
+                raise MachineError(
+                    f"exceeded instruction limit {max_instructions}")
+            if itrace is not None:
+                itrace.append(pc)
+
+            block = pc >> 2
+            if block != cur_word:
+                ifw += 1
+                cur_word = block
+            block >>= 1
+            if block != cur_dword:
+                ifd += 1
+                cur_dword = block
+
+            issue_at = time + 1
+            need = issue_at
+            for index in reads_l[idx]:
+                if ready[index] > need:
+                    need = ready[index]
+            latency = mlat[idx]
+            math_blocked = False
+            if latency and math_free > need:
+                need = math_free
+                math_blocked = True
+            if need != issue_at:
+                stall = need - issue_at
+                interlocks += stall
+                if math_blocked or any(
+                        ready[index] == need and wkind[index] == 2
+                        for index in reads_l[idx]):
+                    math_il += stall
+                else:
+                    load_il += stall
+            time = need
+            if latency:
+                math_free = time + latency
+                for index in writes_l[idx]:
+                    ready[index] = time + latency
+                    wkind[index] = 2
+            elif is_load[idx]:
+                for index in writes_l[idx]:
+                    ready[index] = time + 2
+                    wkind[index] = 1
+            else:
+                for index in writes_l[idx]:
+                    ready[index] = time + 1
+                    wkind[index] = 0
+
+            try:
+                pc = handler(pc)
+            except (MemoryError_, MachineError) as exc:
+                raise MachineError(f"at pc={pc:#x}: {exc}") from exc
+
+        self.pc = pc
+        return self._stats(executed, interlocks, load_il, math_il, ifw, ifd)
+
+    def _stats(self, executed, interlocks, load_il, math_il, ifw, ifd):
+        loads = stores = 0
+        for instr, count in zip(self.program, self.counts):
+            if instr is None or count == 0:
+                continue
+            kind = instr.info.kind
+            if kind == OpKind.LOAD:
+                loads += count
+            elif kind == OpKind.STORE:
+                stores += count
+        return RunStats(
+            instructions=executed, loads=loads, stores=stores,
+            interlocks=interlocks, load_interlocks=load_il,
+            math_interlocks=math_il, ifetch_words=ifw, ifetch_dwords=ifd,
+            exit_code=self.traps.exit_code, output=self.traps.output_text,
+            exec_counts=self.counts, program=self.program)
+
+
+def run_executable(exe: Executable, *, stdin: bytes = b"",
+                   params: PipelineParams | None = None,
+                   trace_instructions: bool = False,
+                   trace_data: bool = False,
+                   max_instructions: int = 2_000_000_000,
+                   ) -> tuple[RunStats, Machine]:
+    """Load and run an executable; returns (stats, machine)."""
+    machine = Machine(exe, params=params, stdin=stdin,
+                      trace_instructions=trace_instructions,
+                      trace_data=trace_data)
+    stats = machine.run(max_instructions=max_instructions)
+    return stats, machine

@@ -1,0 +1,128 @@
+"""Pipeline timing parameters and the reference hazard model.
+
+Both instruction sets execute on the same five-stage pipeline (paper
+Figure 3): IF, D, EX, MEM, WB, issuing at most one instruction per cycle.
+The paper's performance model charges, on top of one cycle per
+instruction:
+
+* **delayed-load interlocks** — a load's value is available one cycle
+  late; a consumer in the very next issue slot stalls one cycle;
+* **math-unit interlocks** — integer multiply/divide and all FP operations
+  execute in a multi-cycle, non-pipelined math unit; consumers of the
+  result (and subsequent math-unit ops) stall until it completes;
+* **memory latency** — charged separately per fetch/data transaction via
+  the formulas in :mod:`repro.machine.perf`.
+
+Control transfers are charged through the instruction-fetch stream (the
+redirect discards buffered instructions, raising traffic), matching how
+the paper accounts for them.
+
+:class:`HazardModel` is the *reference* implementation of the interlock
+rules, processing one retired instruction at a time.  The fast executor
+in :mod:`repro.machine.cpu` implements the identical rules inline; tests
+cross-check the two on real programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Instr, OpKind
+
+#: Pseudo-register index for the FP status word (set by cmp.sf/cmp.df,
+#: read by rdsr) in the 0..63 general/FP register ready-time vector.
+FP_STATUS_REG = 64
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Latency parameters of the execution pipeline."""
+
+    load_delay: int = 1
+    math_latency: dict[str, int] = field(default_factory=lambda: {
+        "imul": 3,
+        "idiv": 12,
+        "fadd": 2,
+        "fmul": 4,
+        "fdiv": 12,
+        "fcvt": 2,
+        "fcmp": 2,
+        "fmove": 1,
+    })
+
+    def latency_of(self, math_class: str) -> int:
+        return self.math_latency[math_class]
+
+
+def hazard_indices(instr: Instr) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Map an instruction's reads/writes to ready-vector indices.
+
+    General register i -> i, FP register i -> 32 + i, FP status -> 64.
+    DLXe's r0 is excluded on the read side only when it can never stall
+    (it is hardwired); we keep it — a write to r0 never happens on DLXe
+    and on D16 r0 is a real register, so including it is correct for both.
+    """
+    reads = tuple((32 + idx if cls == "f" else idx)
+                  for cls, idx in instr.reads())
+    writes = tuple((32 + idx if cls == "f" else idx)
+                   for cls, idx in instr.writes())
+    if instr.info.sets_fp_status:
+        writes = writes + (FP_STATUS_REG,)
+    if instr.op.value == "rdsr":
+        reads = reads + (FP_STATUS_REG,)
+    return reads, writes
+
+
+class HazardModel:
+    """Reference interlock model: feed retired instructions in order."""
+
+    def __init__(self, params: PipelineParams | None = None):
+        self.params = params or PipelineParams()
+        self.ready = [0] * 65          # earliest cycle each value is usable
+        self.writer = ["alu"] * 65     # kind of the last writer per register
+        self.math_free = 0             # cycle the math unit becomes free
+        self.time = 0                  # issue cycle of the last instruction
+        self.interlocks = 0
+        self.load_interlocks = 0
+        self.math_interlocks = 0
+
+    def issue(self, instr: Instr) -> int:
+        """Account for one retired instruction; returns its stall cycles."""
+        reads, writes = hazard_indices(instr)
+        info = instr.info
+        issue_at = self.time + 1
+        need = issue_at
+        math_blocked = False
+        for index in reads:
+            if self.ready[index] > need:
+                need = self.ready[index]
+        is_math = info.kind == OpKind.MATH
+        if is_math and self.math_free > need:
+            need = self.math_free
+            math_blocked = True
+        stall = need - issue_at
+        self.time = need
+        if stall:
+            self.interlocks += stall
+            # Attribute the stall to whichever resource released last.
+            result_math = any(self.ready[i] == need
+                              and self.writer[i] == "math" for i in reads)
+            if math_blocked or result_math:
+                self.math_interlocks += stall
+            else:
+                self.load_interlocks += stall
+        if is_math:
+            latency = self.params.latency_of(info.math_class)
+            self.math_free = self.time + latency
+            for index in writes:
+                self.ready[index] = self.time + latency
+                self.writer[index] = "math"
+        elif info.kind == OpKind.LOAD:
+            for index in writes:
+                self.ready[index] = self.time + 1 + self.params.load_delay
+                self.writer[index] = "load"
+        else:
+            for index in writes:
+                self.ready[index] = self.time + 1
+                self.writer[index] = "alu"
+        return stall

@@ -1,0 +1,67 @@
+"""Trap (system-call) interface between simulated programs and the host.
+
+The paper's ISAs include a ``trap`` instruction; we define a minimal
+vector sufficient for the benchmark suite's I/O and memory needs:
+
+====  =========  ==========================================
+code  name       behaviour
+====  =========  ==========================================
+0     EXIT       halt; exit status in r2
+1     PUTC       write the low byte of r2 to stdout
+2     GETC       read one byte from stdin into r2 (-1 = EOF)
+3     SBRK       grow the heap by r2 bytes; old break in r2
+====  =========  ==========================================
+"""
+
+from __future__ import annotations
+
+TRAP_EXIT = 0
+TRAP_PUTC = 1
+TRAP_GETC = 2
+TRAP_SBRK = 3
+
+
+class TrapError(Exception):
+    """Raised for undefined trap codes."""
+
+
+class TrapHandler:
+    """Host-side implementation of the trap vector."""
+
+    def __init__(self, *, stdin: bytes = b"", heap_base: int = 0,
+                 heap_limit: int = 0):
+        self.stdout = bytearray()
+        self.stdin = stdin
+        self.stdin_pos = 0
+        self.brk = heap_base
+        self.heap_limit = heap_limit
+        self.exited = False
+        self.exit_code = 0
+
+    def handle(self, code: int, arg: int) -> int | None:
+        """Execute trap ``code``; returns the new r2 value or None."""
+        if code == TRAP_EXIT:
+            self.exited = True
+            self.exit_code = arg & 0xFF
+            return None
+        if code == TRAP_PUTC:
+            self.stdout.append(arg & 0xFF)
+            return None
+        if code == TRAP_GETC:
+            if self.stdin_pos >= len(self.stdin):
+                return 0xFFFFFFFF  # -1: EOF
+            byte = self.stdin[self.stdin_pos]
+            self.stdin_pos += 1
+            return byte
+        if code == TRAP_SBRK:
+            old = self.brk
+            new = old + arg
+            if self.heap_limit and new > self.heap_limit:
+                return 0xFFFFFFFF  # -1: out of memory
+            self.brk = new
+            return old
+        raise TrapError(f"undefined trap code {code}")
+
+    @property
+    def output_text(self) -> str:
+        return self.stdout.decode("latin-1")

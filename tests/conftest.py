@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments import Lab
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """A session-wide experiment lab so compilations are shared."""
+    return Lab()
+
+
+def compile_run(source: str, target: str, **kwargs):
+    """Convenience: compile and run minic source, returning stats."""
+    from repro.cc import compile_and_run
+
+    stats, machine, result = compile_and_run(source, target, **kwargs)
+    return stats, machine, result
+
+
+@pytest.fixture(params=["d16", "dlxe"])
+def isa_target(request):
+    """Parametrize a test over the two headline machines."""
+    return request.param
+
+
+@pytest.fixture(params=["d16", "dlxe", "dlxe/16/2", "dlxe/16/3",
+                        "dlxe/32/2"])
+def any_target(request):
+    """Parametrize a test over all five paper configurations."""
+    return request.param

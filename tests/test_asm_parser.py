@@ -1,0 +1,96 @@
+"""Assembly-source parsing."""
+
+import pytest
+
+from repro.asm.parser import (AsmSyntaxError, ImmOperand, MemOperand,
+                              RegOperand, SymOperand, parse_line,
+                              parse_operand, parse_source)
+
+
+class TestOperands:
+    def test_register(self):
+        assert parse_operand("r5") == RegOperand("g", 5)
+        assert parse_operand("f12") == RegOperand("f", 12)
+
+    def test_aliases(self):
+        assert parse_operand("sp") == RegOperand("g", 15)
+        assert parse_operand("gp") == RegOperand("g", 14)
+        assert parse_operand("lr") == RegOperand("g", 1)
+
+    def test_integers(self):
+        assert parse_operand("42") == ImmOperand(42)
+        assert parse_operand("-7") == ImmOperand(-7)
+        assert parse_operand("0x1F") == ImmOperand(31)
+
+    def test_char_literal(self):
+        assert parse_operand("'A'") == ImmOperand(65)
+        assert parse_operand(r"'\n'") == ImmOperand(10)
+
+    def test_symbol(self):
+        assert parse_operand("main") == SymOperand("main")
+        assert parse_operand(".L0") == SymOperand(".L0")
+
+    def test_symbol_with_addend(self):
+        operand = parse_operand("table+8")
+        assert operand == SymOperand("table", addend=8)
+        operand = parse_operand("table - 4")
+        assert operand == SymOperand("table", addend=-4)
+
+    def test_reloc_operators(self):
+        assert parse_operand("%hi(x)") == SymOperand("x", relop="hi")
+        assert parse_operand("%lo(x)") == SymOperand("x", relop="lo")
+        assert parse_operand("%abs16(x)") == SymOperand("x", relop="abs16")
+
+    def test_memory_operand(self):
+        operand = parse_operand("8(r3)")
+        assert isinstance(operand, MemOperand)
+        assert operand.offset == ImmOperand(8)
+        assert operand.base == RegOperand("g", 3)
+
+    def test_memory_no_offset(self):
+        operand = parse_operand("(r3)")
+        assert operand.offset == ImmOperand(0)
+
+    def test_memory_with_reloc_offset(self):
+        operand = parse_operand("%lo(buf)(r4)")
+        assert isinstance(operand, MemOperand)
+        assert operand.offset == SymOperand("buf", relop="lo")
+
+    def test_garbage_raises(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_operand("@!#")
+
+
+class TestLines:
+    def test_label_only(self):
+        stmt = parse_line("main:", 1)
+        assert stmt.label == "main"
+        assert stmt.mnemonic is None
+
+    def test_label_and_instruction(self):
+        stmt = parse_line("loop:  add r1, r2, r3", 7)
+        assert stmt.label == "loop"
+        assert stmt.mnemonic == "add"
+        assert len(stmt.operands) == 3
+
+    def test_comment_stripped(self):
+        assert parse_line("  ; just a comment", 1) is None
+        stmt = parse_line("mvi r1, 4 ; set up", 1)
+        assert stmt.mnemonic == "mvi"
+
+    def test_hash_comment(self):
+        stmt = parse_line("mvi r1, 4 # gcc style", 1)
+        assert stmt.mnemonic == "mvi"
+
+    def test_directive(self):
+        stmt = parse_line('.asciiz "a; b"', 1)
+        assert stmt.mnemonic == ".asciiz"
+        assert stmt.raw_args == '"a; b"'
+
+    def test_blank_is_none(self):
+        assert parse_line("", 1) is None
+        assert parse_line("    ", 1) is None
+
+    def test_source_line_numbers(self):
+        stmts = parse_source("nop\n\nnop\n")
+        assert [s.line_no for s in stmts] == [1, 3]

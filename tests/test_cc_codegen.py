@@ -1,0 +1,189 @@
+"""Code generation specifics: target restrictions visible in assembly."""
+
+import re
+
+import pytest
+
+from repro.cc import build_executable, compile_to_assembly
+from repro.cc.codegen import PoolManager
+from repro.machine import run_executable
+
+
+def asm_for(src, target, **kw):
+    return compile_to_assembly(src, target, include_runtime=False, **kw)
+
+
+def body_of(asm, func):
+    start = asm.index(f"{func}:")
+    rest = asm[start:]
+    end = rest.find("\n.data") if "\n.data" in rest else len(rest)
+    return rest[:end]
+
+
+class TestTwoAddress:
+    SRC = "int f(int a, int b, int c) { return a + b * c; }"
+
+    def test_d16_never_three_address(self):
+        asm = asm_for(self.SRC, "d16")
+        for line in asm.splitlines():
+            match = re.match(r"\s+(add|sub|and|or|xor|mul|div|rem|shl|shr"
+                             r"|shra) (r\d+), (r\d+), (r\d+)", line)
+            if match:
+                assert match.group(2) == match.group(3), line
+
+    def test_restricted_dlxe_also_two_address(self):
+        asm = asm_for(self.SRC, "dlxe/16/2")
+        for line in asm.splitlines():
+            match = re.match(r"\s+(add|sub|mul) (r\d+), (r\d+), (r\d+)",
+                             line)
+            if match and match.group(3) != "r0":
+                assert match.group(2) == match.group(3), line
+
+    def test_full_dlxe_uses_three_address(self):
+        asm = asm_for("int f(int a, int b) { return a + b; }", "dlxe")
+        assert re.search(r"add r\d+, r\d+, r\d+", asm)
+
+
+class TestRegisterRestriction:
+    def test_restricted_dlxe_stays_under_r16(self):
+        decls = "\n".join(f"int v{i} = a * {i + 1};" for i in range(10))
+        uses = " + ".join(f"v{i}" for i in range(10))
+        src = f"int f(int a) {{ {decls} return {uses}; }}"
+        asm = asm_for(src, "dlxe/16/3")
+        for reg in re.findall(r"\br(\d+)\b", asm):
+            assert int(reg) < 16
+
+    def test_full_dlxe_may_use_high_registers(self):
+        decls = "\n".join(f"int v{i} = a * {i + 1};" for i in range(14))
+        uses = " + ".join(f"v{i}" for i in range(14))
+        src = f"""
+        int g(int x) {{ return x; }}
+        int f(int a) {{ {decls} g(a); return {uses}; }}
+        """
+        asm = asm_for(src, "dlxe")
+        assert any(int(r) >= 16 for r in re.findall(r"\br(\d+)\b", asm))
+
+
+class TestImmediates:
+    def test_dlxe_wide_immediate_single_instruction(self):
+        asm = asm_for("int f(int a) { return a + 1000; }", "dlxe")
+        assert "addi" in asm
+        assert "mvhi" not in body_of(asm, "f")
+
+    def test_d16_wide_immediate_needs_sequence(self):
+        asm = asm_for("int f(int a) { return a + 1000; }", "d16")
+        body = body_of(asm, "f")
+        # 1000 doesn't fit u5: must be materialized then added.
+        assert re.search(r"(mvi|ldc)", body)
+
+    def test_d16_small_immediate_direct(self):
+        asm = asm_for("int f(int a) { return a + 7; }", "d16")
+        assert "addi" in body_of(asm, "f")
+
+    def test_d16_negative_imm_uses_subi(self):
+        asm = asm_for("int f(int a) { return a - 5; }", "d16")
+        assert "subi" in body_of(asm, "f")
+
+    def test_dlxe_cmpi(self):
+        asm = asm_for("int f(int a) { return a < 100; }", "dlxe")
+        assert "cmpilt" in asm
+
+    def test_d16_has_no_cmpi(self):
+        asm = asm_for("int f(int a) { return a < 100; }", "d16")
+        assert "cmpi" not in body_of(asm, "f")
+
+
+class TestConstantPools:
+    def test_d16_big_constant_pooled(self):
+        asm = asm_for("int f() { return 123456789; }", "d16")
+        assert "ldc" in asm
+        assert ".word 123456789" in asm
+
+    def test_dlxe_big_constant_mvhi(self):
+        asm = asm_for("int f() { return 123456789; }", "dlxe")
+        assert "mvhi" in asm
+        assert "ldc" not in asm
+
+    def test_pool_deduplicated(self):
+        asm = asm_for("""
+        int f() { return 123456789 ^ 123456789; }
+        """, "d16", opt_level=0)
+        assert asm.count(".word 123456789") <= 1
+
+    def test_pool_flush_for_large_function(self):
+        # Enough code between uses forces an island with a skip branch.
+        lines = "\n".join(f"x = x + {100000 + i};" for i in range(200))
+        src = f"int f(int x) {{ {lines} return x; }}"
+        asm = asm_for(src, "d16", opt_level=0)
+        assert "br .Lp_f_skip" in asm
+        exe = build_executable(src + "\nint main() { return f(1); }",
+                               "d16").executable
+        assert exe.text_size > PoolManager.FLUSH_DISTANCE
+
+
+class TestCallSequences:
+    SRC = """
+    int callee(int a) { return a; }
+    int f(int a) { return callee(a + 1); }
+    """
+
+    def test_dlxe_direct_call(self):
+        asm = asm_for(self.SRC, "dlxe")
+        assert "jld callee" in asm
+
+    def test_d16_pool_call(self):
+        asm = asm_for(self.SRC, "d16")
+        body = body_of(asm, "f")
+        assert ".word callee" in body
+        assert re.search(r"jl r\d+", body)
+
+    def test_leaf_function_no_lr_save(self):
+        asm = asm_for("int leaf(int a) { return a * 2; }", "d16")
+        body = body_of(asm, "leaf")
+        assert "st r1" not in body
+
+    def test_caller_saves_lr(self):
+        asm = asm_for(self.SRC, "d16")
+        body = body_of(asm, "f")
+        assert "st r1" in body
+
+
+class TestGlobalAddressing:
+    SRC = """
+    int near;
+    int far_array[100];
+    int f() { return near + far_array[60]; }
+    """
+
+    def test_dlxe_gp_relative(self):
+        asm = asm_for(self.SRC, "dlxe")
+        assert re.search(r"ld r\d+, \d+\(r14\)", asm)
+
+    def test_d16_gp_window_then_pool(self):
+        asm = asm_for(self.SRC, "d16")
+        body = body_of(asm, "f")
+        # 'near' (scalar, laid out first: offset < 124) is direct;
+        # far_array[60] is 240+ bytes into the segment: pooled address.
+        assert re.search(r"ld r\d+, \d+\(r14\)", body)
+        assert ".word far_array" in body
+
+
+class TestExecutionSanity:
+    def test_all_targets_agree(self, any_target):
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) putchar('a' + fib(i) % 26);
+            return 0;
+        }
+        """
+        result = build_executable(src, any_target,
+                                  include_runtime=False)
+        stats, _machine = run_executable(result.executable)
+        assert stats.output == "".join(
+            chr(ord("a") + f % 26)
+            for f in [0, 1, 1, 2, 3, 5, 8, 13, 21, 34])

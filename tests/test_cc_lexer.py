@@ -1,0 +1,60 @@
+"""minic lexer."""
+
+import pytest
+
+from repro.cc.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]   # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestTokens:
+    def test_integers(self):
+        assert values("0 42 0x10") == [0, 42, 16]
+
+    def test_floats(self):
+        tokens = tokenize("1.5 2e3 1.5f .25")[:-1]
+        assert [t.value for t in tokens] == [1.5, 2000.0, 1.5, 0.25]
+        assert tokens[2].kind == "floatf"
+        assert tokens[0].kind == "float"
+
+    def test_char_literals_become_ints(self):
+        assert values(r"'a' '\n' '\0' '\\'") == [97, 10, 0, 92]
+
+    def test_strings(self):
+        assert values(r'"hi\n"') == ["hi\n"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int interior if iffy")[:-1]
+        assert [t.kind for t in tokens] == ["kw", "ident", "kw", "ident"]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b >> c >= d")[:-1]
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert texts == ["<<=", ">>", ">="]
+
+    def test_comments_skipped(self):
+        assert kinds("a // comment\n b /* multi\nline */ c") == \
+            ["ident", "ident", "ident"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n/* x\ny */ c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 4
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_eof_appended(self):
+        assert tokenize("")[-1].kind == "eof"

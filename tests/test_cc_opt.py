@@ -1,0 +1,197 @@
+"""Optimizer passes, observed through the IR."""
+
+from repro.cc.irgen import lower_program
+from repro.cc.ir import (Bin, CJump, Const, Jump, Load, Move, Store)
+from repro.cc.opt import (copy_propagation, dead_code, dedupe_single_defs,
+                          fold_constants, fold_offsets, licm, local_cse,
+                          optimize_module, simplify_cfg)
+from repro.cc.parser import parse
+
+
+def lower(src):
+    return lower_program(parse(src))
+
+
+def instrs(func):
+    return [inst for block in func.blocks for inst in block.instrs]
+
+
+def count(func, kind):
+    return sum(isinstance(i, kind) for i in instrs(func))
+
+
+class TestConstantFolding:
+    def test_arith_folds_to_const(self):
+        module = lower("int main() { return (3 + 4) * 2 - 6 / 3; }")
+        func = module.functions[0]
+        fold_constants(func)
+        copy_propagation(func)
+        dead_code(func)
+        consts = [i.value for i in instrs(func) if isinstance(i, Const)]
+        assert 12 in consts
+        assert count(func, Bin) == 0
+
+    def test_mul_pow2_becomes_shift(self):
+        module = lower("int f(int x) { return x * 8; }")
+        func = module.functions[0]
+        fold_constants(func)
+        shifts = [i for i in instrs(func)
+                  if isinstance(i, Bin) and i.op == "shl"]
+        assert shifts
+
+    def test_constant_branch_folds(self):
+        module = lower("int main() { if (1 < 2) return 5; return 6; }")
+        func = module.functions[0]
+        fold_constants(func)
+        assert count(func, CJump) == 0
+
+    def test_add_zero_identity(self):
+        module = lower("int f(int x) { return x + 0; }")
+        func = module.functions[0]
+        fold_constants(func)
+        assert all(not (isinstance(i, Bin) and i.op == "add")
+                   for i in instrs(func))
+
+
+class TestOffsetFolding:
+    def test_constant_index_becomes_displacement(self):
+        module = lower("""
+            int xs[10];
+            int f() { return xs[3]; }
+        """)
+        func = module.functions[0]
+        optimize_module(module)
+        loads = [i for i in instrs(func) if isinstance(i, Load)]
+        assert loads and loads[0].offset == 12
+        assert loads[0].base == "xs"
+
+
+class TestCSEandCopies:
+    def test_repeated_expression_reused(self):
+        module = lower("int f(int a, int b) { return (a+b)*(a+b); }")
+        func = module.functions[0]
+        local_cse(func)
+        copy_propagation(func)
+        dead_code(func)
+        adds = [i for i in instrs(func)
+                if isinstance(i, Bin) and i.op == "add"]
+        assert len(adds) == 1
+
+    def test_dedupe_single_defs_renames_globally(self):
+        module = lower("""
+            double g;
+            int f(int n) {
+                double total = 0.0;
+                int i;
+                for (i = 0; i < n; i++) total = total + 0.5;
+                g = total;
+                return i;
+            }
+        """)
+        func = module.functions[0]
+        optimize_module(module)
+        from repro.cc.ir import FConst
+        halves = [i for i in instrs(func)
+                  if isinstance(i, FConst) and i.value == 0.5]
+        assert len(halves) == 1
+
+
+class TestDeadCode:
+    def test_unused_pure_removed(self):
+        module = lower("int f(int a) { int unused = a * 37; return a; }")
+        func = module.functions[0]
+        dead_code(func)
+        assert count(func, Bin) == 0
+
+    def test_store_never_removed(self):
+        module = lower("int g; int f() { g = 1; return 0; }")
+        func = module.functions[0]
+        dead_code(func)
+        assert count(func, Store) == 1
+
+
+class TestCFG:
+    def test_unreachable_removed(self):
+        module = lower("""
+            int f() {
+                return 1;
+                return 2;
+            }
+        """)
+        func = module.functions[0]
+        simplify_cfg(func)
+        rets = [i for i in instrs(func) if type(i).__name__ == "Ret"]
+        assert len(rets) == 1
+
+    def test_jump_threading(self):
+        module = lower("""
+            int f(int a) {
+                int r;
+                if (a) { r = 1; } else { r = 2; }
+                return r;
+            }
+        """)
+        func = module.functions[0]
+        optimize_module(module)
+        # No block should consist solely of a jump.
+        for block in func.blocks:
+            if len(block.instrs) == 1:
+                assert not isinstance(block.instrs[0], Jump)
+
+
+class TestLICM:
+    def test_fconst_hoisted_out_of_loop(self):
+        module = lower("""
+            double f(int n) {
+                double t = 1.0;
+                int i;
+                for (i = 0; i < n; i++) t = t * 1.5;
+                return t;
+            }
+        """)
+        func = module.functions[0]
+        optimize_module(module)
+        from repro.cc.ir import FConst
+        # 1.5 must be defined in a block that is not part of the loop
+        # (i.e. executed once): find the block containing the fmul.
+        for block in func.blocks:
+            fconsts = [i for i in block.instrs if isinstance(i, FConst)
+                       and i.value == 1.5]
+            muls = [i for i in block.instrs if isinstance(i, Bin)
+                    and i.op == "fmul"]
+            if muls:
+                assert not fconsts, "1.5 should be hoisted out of the loop"
+
+    def test_licm_preserves_semantics(self):
+        from repro.cc import compile_and_run
+
+        src = """
+        int g[4];
+        int main() {
+            int i, total = 0;
+            for (i = 0; i < 4; i++) {
+                g[i] = i * 3;
+                total = total + g[i];
+            }
+            puti(total);
+            return 0;
+        }
+        """
+        for target in ("d16", "dlxe"):
+            stats, _m, _r = compile_and_run(src, target)
+            assert stats.output == "18"
+
+
+class TestPipelineIdempotence:
+    def test_double_optimize_stable(self):
+        src = """
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+        """
+        module = lower(src)
+        optimize_module(module)
+        once = str(module.functions[0])
+        optimize_module(module)
+        assert str(module.functions[0]) == once

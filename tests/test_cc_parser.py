@@ -1,0 +1,150 @@
+"""minic parser: AST shapes and error reporting."""
+
+import pytest
+
+from repro.cc import ParseError, parse
+from repro.cc import ast_nodes as ast
+from repro.cc.types import ArrayType, IntType, PointerType, StructType
+
+
+def parse_expr(text):
+    program = parse(f"int main() {{ return {text}; }}")
+    ret = program.functions[0].body.body[0]
+    return ret.value
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_associativity(self):
+        expr = parse_expr("8 - 4 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_assignment_right_assoc(self):
+        program = parse("int main() { int a; int b; a = b = 1; }")
+        stmt = program.functions[0].body.body[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_conditional(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!0")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_pointer_ops(self):
+        expr = parse_expr("*p + &x")
+        assert expr.left.op == "*"
+        assert expr.right.op == "&"
+
+    def test_postfix(self):
+        expr = parse_expr("a[1].f->g++")
+        assert isinstance(expr, ast.Postfix)
+        assert isinstance(expr.operand, ast.Member)
+        assert expr.operand.arrow
+
+    def test_cast(self):
+        expr = parse_expr("(double) 3")
+        assert isinstance(expr, ast.Cast)
+
+    def test_sizeof(self):
+        expr = parse_expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeofType)
+        assert isinstance(expr.type, IntType)
+
+    def test_call_args(self):
+        expr = parse_expr("f(1, 2, 3)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        program = parse("int x = 5;")
+        (decl,) = program.globals
+        assert decl.name == "x"
+
+    def test_global_array(self):
+        program = parse("int xs[10];")
+        assert isinstance(program.globals[0].type, ArrayType)
+
+    def test_pointer_declarator(self):
+        program = parse("char *p;")
+        assert isinstance(program.globals[0].type, PointerType)
+
+    def test_multi_declarator(self):
+        program = parse("int a, b, c;")
+        assert [g.name for g in program.globals] == ["a", "b", "c"]
+
+    def test_struct_definition(self):
+        program = parse("""
+            struct P { int x; int y; };
+            struct P origin;
+        """)
+        ty = program.globals[0].type
+        assert isinstance(ty, StructType)
+        assert ty.size == 8
+        assert ty.field_named("y").offset == 4
+
+    def test_self_referential_struct(self):
+        program = parse("struct N { int v; struct N *next; };")
+        node = program.structs["N"]
+        assert node.size == 8
+        assert node.field_named("next").type.target is node
+
+    def test_function_params_decay(self):
+        program = parse("int f(int xs[4]) { return xs[0]; }")
+        param = program.functions[0].params[0]
+        assert isinstance(param.type, PointerType)
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.functions[0].params == []
+
+
+class TestStatements:
+    def test_for_with_decl(self):
+        program = parse("int f() { for (int i = 0; i < 3; i++) ; return 0; }")
+        loop = program.functions[0].body.body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_do_while(self):
+        program = parse("int f() { int i = 0; do i++; while (i < 3); return i; }")
+        assert isinstance(program.functions[0].body.body[1], ast.DoWhile)
+
+    def test_dangling_else(self):
+        program = parse("""
+            int f(int a, int b) {
+                if (a) if (b) return 1; else return 2;
+                return 3;
+            }
+        """)
+        outer = program.functions[0].body.body[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 }")
+
+    def test_unknown_struct(self):
+        with pytest.raises(ParseError, match="unknown struct"):
+            parse("struct Missing x;")
+
+    def test_duplicate_struct(self):
+        with pytest.raises(ParseError, match="duplicate struct"):
+            parse("struct A { int x; };\nstruct A { int y; };")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse("int f() {\n  int a;\n  a = ;\n}")

@@ -1,0 +1,202 @@
+"""The minic runtime library, validated against Python references."""
+
+import math
+
+import pytest
+
+from repro.cc import compile_and_run
+
+
+def run(source, target="d16"):
+    stats, _m, _r = compile_and_run(source, target)
+    return stats.output
+
+
+class TestFormatting:
+    def test_puti_edges(self, isa_target):
+        src = r"""
+        int main() {
+            puti(0); putchar(',');
+            puti(-1); putchar(',');
+            puti(2147483647); putchar(',');
+            puti(-2147483647 - 1);
+            return 0;
+        }
+        """
+        assert run(src, isa_target) == "0,-1,2147483647,-2147483648"
+
+    def test_putu(self):
+        src = r"""
+        int main() {
+            putu(0); putchar(',');
+            putu(-1); putchar(',');
+            putu(-2147483647 - 1);
+            return 0;
+        }
+        """
+        assert run(src) == "0,4294967295,2147483648"
+
+    def test_puthex(self):
+        src = "int main() { puthex(0x12ABCDEF); return 0; }"
+        assert run(src) == "12abcdef"
+
+    def test_putd(self):
+        src = r"""
+        int main() {
+            putd(3.140625, 6); putchar(',');
+            putd(-0.5, 2); putchar(',');
+            putd(100.0, 0);
+            return 0;
+        }
+        """
+        assert run(src) == "3.140625,-0.50,100"
+
+
+class TestStrings:
+    def test_strcmp_orderings(self, isa_target):
+        src = r"""
+        int sign(int x) { if (x > 0) return 1; if (x < 0) return -1; return 0; }
+        int main() {
+            puti(sign(strcmp("abc", "abc"))); putchar(',');
+            puti(sign(strcmp("abc", "abd"))); putchar(',');
+            puti(sign(strcmp("b", "abc"))); putchar(',');
+            puti(sign(strcmp("abc", "ab")));
+            return 0;
+        }
+        """
+        assert run(src, isa_target) == "0,-1,1,1"
+
+    def test_strcpy_strcat_strchr(self):
+        src = r"""
+        char buf[32];
+        int main() {
+            strcpy(buf, "foo");
+            strcat(buf, "bar");
+            puts(buf); putchar(',');
+            puti(strchr(buf, 'b') - buf); putchar(',');
+            puti(strchr(buf, 'z') == (char *) 0);
+            return 0;
+        }
+        """
+        assert run(src) == "foobar,3,1"
+
+    def test_memcpy_memset(self):
+        src = r"""
+        char a[8];
+        char b[8];
+        int main() {
+            memset(a, 'x', 7);
+            a[7] = 0;
+            memcpy(b, a, 8);
+            puts(b);
+            return 0;
+        }
+        """
+        assert run(src) == "xxxxxxx"
+
+    def test_strncmp(self):
+        src = r"""
+        int main() {
+            puti(strncmp("hello", "help", 3) == 0); putchar(',');
+            puti(strncmp("hello", "help", 4) < 0);
+            return 0;
+        }
+        """
+        assert run(src) == "1,1"
+
+
+class TestMathFunctions:
+    """Software math vs Python's libm (tolerances fit the series)."""
+
+    def _check(self, expr, expected, places=4):
+        src = f"int main() {{ putd({expr}, 8); return 0; }}"
+        out = run(src)
+        assert abs(float(out) - expected) < 10 ** (-places), \
+            f"{expr}: got {out}, want {expected}"
+
+    def test_sqrt(self):
+        for value in (0.25, 2.0, 100.0, 12345.0):
+            self._check(f"sqrt({value})", math.sqrt(value), places=5)
+
+    def test_sqrt_zero_negative(self):
+        self._check("sqrt(0.0)", 0.0)
+        self._check("sqrt(-4.0)", 0.0)    # defined as 0 for minic
+
+    def test_sin_cos(self):
+        for value in (0.0, 0.5, 1.0, 2.0, -1.3, 3.14159, 6.5, 12.0):
+            self._check(f"sin({value})", math.sin(value), places=5)
+            self._check(f"cos({value})", math.cos(value), places=5)
+
+    def test_exp(self):
+        for value in (0.0, 1.0, -1.0, 3.5, -4.0):
+            self._check(f"exp({value})", math.exp(value), places=4)
+
+    def test_log(self):
+        for value in (1.0, 2.718281828, 10.0, 0.1, 1000.0):
+            self._check(f"log({value})", math.log(value), places=5)
+
+    def test_atan(self):
+        for value in (0.0, 0.3, 1.0, -1.0, 5.0, -20.0):
+            self._check(f"atan({value})", math.atan(value), places=5)
+
+    def test_pow(self):
+        self._check("pow(2.0, 10.0)", 1024.0, places=2)
+        self._check("pow(9.0, 0.5)", 3.0, places=4)
+
+    def test_floor_fabs_abs(self):
+        src = r"""
+        int main() {
+            putd(floor(2.7), 1); putchar(',');
+            putd(floor(-2.3), 1); putchar(',');
+            putd(fabs(-1.5), 1); putchar(',');
+            puti(abs(-9)); putchar(',');
+            puti(abs(9));
+            return 0;
+        }
+        """
+        assert run(src) == "2.0,-3.0,1.5,9,9"
+
+    def test_exp_log_roundtrip(self):
+        self._check("log(exp(2.5))", 2.5, places=4)
+
+
+class TestRand:
+    def test_deterministic_sequence(self, isa_target):
+        src = r"""
+        int main() {
+            int i;
+            srand(42);
+            for (i = 0; i < 3; i++) { puti(rand()); putchar(','); }
+            srand(42);
+            puti(rand());
+            return 0;
+        }
+        """
+        out = run(src, isa_target)
+        parts = out.split(",")
+        assert parts[0] == parts[3]
+        assert all(0 <= int(p) < 32768 for p in parts)
+
+
+class TestAllocator:
+    def test_malloc_alignment(self):
+        src = r"""
+        int main() {
+            char *a = malloc(3);
+            char *b = malloc(3);
+            puti(((int) a & 7) == 0); putchar(',');
+            puti(b - a >= 8);
+            return 0;
+        }
+        """
+        assert run(src) == "1,1"
+
+    def test_malloc_failure_returns_null(self):
+        src = r"""
+        int main() {
+            char *p = malloc(0x70000000);
+            puti(p == (char *) 0);
+            return 0;
+        }
+        """
+        assert run(src) == "1"

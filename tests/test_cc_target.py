@@ -1,0 +1,87 @@
+"""TargetSpec: register sets and immediate capability predicates."""
+
+import pytest
+
+from repro.cc.target import (D16_TARGET, DLXE_16_2, DLXE_16_3, DLXE_NARROW,
+                             DLXE_TARGET, REG_AT, REG_AT2, REG_GP, REG_LINK,
+                             REG_SP, TARGETS, get_target)
+
+
+class TestRegisterSets:
+    def test_reserved_registers_never_allocatable(self):
+        for spec in TARGETS.values():
+            pool = spec.allocatable_int
+            for reserved in (0, REG_LINK, REG_AT, REG_AT2, REG_GP, REG_SP):
+                assert reserved not in pool, (spec.name, reserved)
+
+    def test_pool_sizes(self):
+        assert len(D16_TARGET.allocatable_int) == 10
+        assert len(DLXE_TARGET.allocatable_int) == 26
+        assert len(DLXE_16_3.allocatable_int) == 10
+
+    def test_callee_saved_subset_of_pool(self):
+        for spec in TARGETS.values():
+            assert spec.callee_saved_int <= set(spec.allocatable_int)
+            assert spec.callee_saved_fp_pairs <= \
+                set(spec.allocatable_fp_pairs)
+
+    def test_fp_pairs_even_and_skip_scratch(self):
+        for spec in TARGETS.values():
+            for pair in spec.allocatable_fp_pairs:
+                assert pair % 2 == 0
+                assert pair != 0           # f0:f1 is the return/scratch
+
+    def test_16_reg_targets_stay_under_16(self):
+        for name in ("d16", "dlxe/16/2", "dlxe/16/3", "dlxe/narrow"):
+            spec = get_target(name)
+            assert all(r < 16 for r in spec.allocatable_int)
+            assert all(p < 16 for p in spec.allocatable_fp_pairs)
+
+
+class TestImmediateCapabilities:
+    def test_d16_alu_bounds(self):
+        t = D16_TARGET
+        assert t.alu_imm_ok("add", 31)
+        assert t.alu_imm_ok("add", -31)     # becomes subi
+        assert not t.alu_imm_ok("add", 32)
+        assert not t.alu_imm_ok("and", 1)   # no logical immediates
+        assert t.alu_imm_ok("shl", 31)
+        assert not t.alu_imm_ok("shl", 32)
+
+    def test_dlxe_alu_bounds(self):
+        t = DLXE_TARGET
+        assert t.alu_imm_ok("add", 32767)
+        assert t.alu_imm_ok("add", -32768)
+        assert not t.alu_imm_ok("add", 32768)
+        assert t.alu_imm_ok("xor", -1)      # sign-extended logical imm
+
+    def test_cmp_imm(self):
+        assert DLXE_TARGET.cmp_imm_ok(100)
+        assert not D16_TARGET.cmp_imm_ok(0)
+
+    def test_mem_offsets(self):
+        assert D16_TARGET.mem_offset_ok(4, 124)
+        assert not D16_TARGET.mem_offset_ok(4, 128)
+        assert not D16_TARGET.mem_offset_ok(4, 2)      # unaligned
+        assert not D16_TARGET.mem_offset_ok(1, 1)      # subword
+        assert D16_TARGET.mem_offset_ok(1, 0)
+        assert DLXE_TARGET.mem_offset_ok(1, -32768)
+
+    def test_mvi(self):
+        assert D16_TARGET.mvi_ok(255)
+        assert D16_TARGET.mvi_ok(-256)
+        assert not D16_TARGET.mvi_ok(256)
+        assert DLXE_TARGET.mvi_ok(32767)
+
+    def test_narrow_dlxe_mirrors_d16_immediates(self):
+        narrow = DLXE_NARROW
+        assert not narrow.wide_immediates
+        assert narrow.alu_imm_ok("add", 31)
+        assert not narrow.alu_imm_ok("add", 100)
+        assert not narrow.cmp_imm_ok(5)
+
+    def test_ablation_targets_registered(self):
+        assert get_target("dlxe/32/3") is DLXE_TARGET
+        assert get_target("dlxe/16/2") is DLXE_16_2
+        with pytest.raises(KeyError):
+            get_target("dlxe/8/1")

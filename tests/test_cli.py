@@ -1,0 +1,86 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+int main() {
+    puts("hi");
+    return 3;
+}
+"""
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.mc"
+    path.write_text(HELLO)
+    return str(path)
+
+
+def test_compile_to_stdout(hello_file, capsys):
+    assert main(["compile", "-t", "d16", hello_file]) == 0
+    out = capsys.readouterr().out
+    assert ".text" in out
+    assert "main:" in out
+
+
+def test_compile_to_file(hello_file, tmp_path, capsys):
+    out_path = tmp_path / "out.s"
+    assert main(["compile", "-t", "dlxe", hello_file,
+                 "-o", str(out_path)]) == 0
+    assert "main:" in out_path.read_text()
+
+
+def test_run_returns_exit_code(hello_file, capsys):
+    code = main(["run", "-t", "d16", hello_file])
+    assert code == 3
+    assert capsys.readouterr().out == "hi"
+
+
+def test_run_stats(hello_file, capsys):
+    main(["run", "-t", "dlxe", "--stats", hello_file])
+    err = capsys.readouterr().err
+    assert "path length" in err
+    assert "interlocks" in err
+
+
+def test_run_with_stdin(tmp_path, capsys):
+    src = tmp_path / "echo.mc"
+    src.write_text("""
+    int main() {
+        int c;
+        while ((c = getchar()) != -1) putchar(c);
+        return 0;
+    }
+    """)
+    data = tmp_path / "input.txt"
+    data.write_bytes(b"abc")
+    main(["run", "-t", "d16", "--stdin", str(data), str(src)])
+    assert capsys.readouterr().out == "abc"
+
+
+def test_disasm(hello_file, capsys):
+    assert main(["disasm", "-t", "d16", "-n", "4", hello_file]) == 0
+    out = capsys.readouterr().out
+    assert "_start" in out
+    assert out.count("\n") == 4
+
+
+def test_bench_table(capsys):
+    assert main(["bench", "ackermann", "--targets", "d16,dlxe"]) == 0
+    out = capsys.readouterr().out
+    assert "ackermann" in out
+    assert "d16 size" in out
+
+
+def test_targets_listing(capsys):
+    assert main(["targets"]) == 0
+    out = capsys.readouterr().out
+    assert "d16" in out and "dlxe/16/2" in out
+
+
+def test_unknown_target_rejected(hello_file):
+    with pytest.raises(SystemExit):
+        main(["run", "-t", "nonesuch", hello_file])

@@ -1,0 +1,81 @@
+"""Literal-pool manager and assembly-writer mechanics."""
+
+from repro.cc.codegen import AsmWriter, PoolManager
+
+
+class TestAsmWriter:
+    def test_position_counts_instructions(self):
+        writer = AsmWriter(2)
+        writer.instr("nop")
+        writer.instr("nop")
+        writer.label("skip")
+        assert writer.position == 4
+
+    def test_directive_size(self):
+        writer = AsmWriter(2)
+        writer.directive(".word 1", 4)
+        assert writer.position == 4
+
+    def test_text_joins_lines(self):
+        writer = AsmWriter(2)
+        writer.label("a")
+        writer.instr("nop")
+        assert writer.text() == "a:\n        nop\n"
+
+
+class TestPoolManager:
+    def test_dedupe_within_batch(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        one = pool.ref(".word target")
+        two = pool.ref(".word target")
+        other = pool.ref(".word 99")
+        assert one == two
+        assert other != one
+        assert len(pool.pending) == 2
+
+    def test_flush_emits_entries_with_alignment(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        writer.instr("nop")               # position 2: pool needs padding
+        label = pool.ref(".word 123")
+        pool.flush(jump_over=False)
+        text = writer.text()
+        assert ".align 4" in text
+        assert f"{label}:" in text
+        assert ".word 123" in text
+        assert writer.position % 4 == 0
+
+    def test_flush_with_jump_skips_pool(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        pool.ref(".word 1")
+        pool.flush(jump_over=True)
+        text = writer.text()
+        assert "br .Lp_f_skip" in text
+        assert text.index("br ") < text.index(".word 1")
+
+    def test_maybe_flush_waits_for_distance(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        pool.ref(".word 1")
+        pool.maybe_flush()
+        assert pool.pending                 # too close to flush yet
+        for _ in range(PoolManager.FLUSH_DISTANCE // 2 + 1):
+            writer.instr("nop")
+        pool.maybe_flush()
+        assert not pool.pending
+
+    def test_dedupe_resets_after_flush(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        first = pool.ref(".word 7")
+        pool.flush(jump_over=False)
+        second = pool.ref(".word 7")
+        assert first != second              # old pool may be out of range
+
+    def test_empty_flush_is_noop(self):
+        writer = AsmWriter(2)
+        pool = PoolManager(writer, "f")
+        pool.flush(jump_over=True)
+        assert writer.text() == "\n"

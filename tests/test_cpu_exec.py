@@ -1,0 +1,317 @@
+"""Functional execution semantics, via small assembly programs.
+
+Each helper assembles a fragment that leaves a value in r2 and exits;
+the same fragment is checked on both encodings where both support it.
+"""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.isa import D16, DLXE
+from repro.machine import MachineError, run_executable
+
+HEADER = ".text\n.global _start\n_start:\n"
+FOOTER = "\ntrap 0\n"
+
+
+def run_asm(body, isa, stdin=b"", data=""):
+    exe = link([assemble(HEADER + body + FOOTER + data, isa)])
+    stats, machine = run_executable(exe, stdin=stdin)
+    return stats, machine
+
+
+def result_r2(body, isa, data=""):
+    _stats, machine = run_asm(body + "\n", isa, data=data)
+    return machine.g[2]
+
+
+class TestIntegerAlu:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_add_wraps(self, isa):
+        body = """
+        mvi r2, -1
+        shri r2, r2, 1     ; 0x7FFFFFFF
+        mvi r3, 1
+        add r2, r2, r3
+        """
+        assert result_r2(body, isa) == 0x80000000
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_sub_borrow(self, isa):
+        assert result_r2("mvi r2, 3\nmvi r3, 5\nsub r2, r2, r3", isa) \
+            == 0xFFFFFFFE
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_logic(self, isa):
+        assert result_r2("mvi r2, 12\nmvi r3, 10\nand r2, r2, r3", isa) == 8
+        assert result_r2("mvi r2, 12\nmvi r3, 10\nor r2, r2, r3", isa) == 14
+        assert result_r2("mvi r2, 12\nmvi r3, 10\nxor r2, r2, r3", isa) == 6
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_shifts(self, isa):
+        assert result_r2("mvi r2, 1\nshli r2, r2, 31", isa) == 0x80000000
+        assert result_r2("mvi r2, -8\nshrai r2, r2, 2", isa) == 0xFFFFFFFE
+        assert result_r2("mvi r2, -8\nshri r2, r2, 1", isa) == 0x7FFFFFFC
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_neg_inv(self, isa):
+        assert result_r2("mvi r3, 5\nneg r2, r3", isa) == 0xFFFFFFFB
+        assert result_r2("mvi r3, 0\ninv r2, r3", isa) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_mul_div_rem(self, isa):
+        assert result_r2("mvi r2, -6\nmvi r3, 7\nmul r2, r2, r3", isa) \
+            == (-42) & 0xFFFFFFFF
+        assert result_r2("mvi r2, -7\nmvi r3, 2\ndiv r2, r2, r3", isa) \
+            == (-3) & 0xFFFFFFFF   # C truncation toward zero
+        assert result_r2("mvi r2, -7\nmvi r3, 2\nrem r2, r2, r3", isa) \
+            == (-1) & 0xFFFFFFFF
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(MachineError, match="division"):
+            run_asm("mvi r2, 4\nmvi r3, 0\ndiv r2, r2, r3\n", D16)
+
+
+class TestCompare:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_signed_unsigned(self, isa):
+        # -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned
+        dest = "r0" if isa is D16 else "r4"
+        body = f"""
+        mvi r2, -1
+        mvi r3, 1
+        cmplt {dest}, r2, r3
+        mv r5, {dest}
+        cmpltu {dest}, r2, r3
+        shli r5, r5, 1
+        or r5, r5, {dest}
+        mv r2, r5
+        """
+        assert result_r2(body, isa) == 0b10
+
+    def test_dlxe_greater_conditions(self):
+        body = """
+        mvi r2, 9
+        mvi r3, 5
+        cmpgt r4, r2, r3
+        cmpge r5, r3, r3
+        add r2, r4, r5
+        """
+        assert result_r2(body, DLXE) == 2
+
+
+class TestMemoryOps:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_store_load_word(self, isa):
+        body = """
+        mvi r3, 8
+        shli r3, r3, 12
+        mvi r4, 77
+        st r4, 4(r3)
+        ld r2, 4(r3)
+        """
+        assert result_r2(body, isa) == 77
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_subword_sign_extension(self, isa):
+        body = """
+        mvi r3, 8
+        shli r3, r3, 12
+        mvi r4, -1
+        stb r4, (r3)
+        ldb r2, (r3)
+        """
+        assert result_r2(body, isa) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_subword_unsigned(self, isa):
+        body = """
+        mvi r3, 8
+        shli r3, r3, 12
+        mvi r4, -1
+        sth r4, (r3)
+        ldhu r2, (r3)
+        """
+        assert result_r2(body, isa) == 0xFFFF
+
+    def test_d16_ldc_reads_pool(self):
+        body = """
+        ldc r2, pool
+        br over
+        .align 4
+        pool: .word 123456
+        over:
+        """
+        assert result_r2(body, D16) == 123456
+
+
+class TestControl:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_loop_sum(self, isa):
+        test_reg = "r0" if isa is D16 else "r4"
+        body = f"""
+        mvi r2, 0
+        mvi r3, 5
+        loop:
+        add r2, r2, r3
+        subi r3, r3, 1
+        mv {test_reg}, r3
+        bnz {test_reg}, loop
+        """
+        assert result_r2(body, isa) == 15
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_call_and_return(self, isa):
+        if isa is DLXE:
+            call = "jld callee"
+        else:
+            call = "ldc r9, fptr\njl r9"
+        body = f"""
+        {call}
+        addi r2, r2, 1
+        trap 0
+        callee:
+        mvi r2, 41
+        j lr
+        .align 4
+        fptr: .word callee
+        """
+        _stats, machine = run_asm(body, isa)
+        assert machine.g[2] == 42
+
+    def test_jz_jnz(self):
+        body = """
+        mvi r3, 0
+        ldc r4, tgt
+        jz r4, r3
+        mvi r2, 1
+        trap 0
+        there:
+        mvi r2, 99
+        trap 0
+        .align 4
+        tgt: .word there
+        """
+        _stats, machine = run_asm(body, D16)
+        assert machine.g[2] == 99
+
+
+class TestFloat:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_single_arithmetic(self, isa):
+        # 1.5f = 0x3FC00000; 2.5f = 0x40200000; sum 4.0f = 0x40800000
+        body = """
+        mvi r3, 0xFF
+        shli r3, r3, 22
+        mvif f2, r3
+        mvi r3, 0x40
+        shli r3, r3, 4
+        addi r3, r3, 2
+        shli r3, r3, 20
+        mvif f4, r3
+        add.sf f2, f2, f4
+        mvfi r2, f2
+        """
+        assert result_r2(body, isa) == 0x40800000
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_double_divide(self, isa):
+        # 1.0 / 2.0 = 0.5 (hi word 0x3FE00000)
+        body = """
+        mvi r3, 0x3F
+        shli r3, r3, 4
+        addi r3, r3, 15
+        shli r3, r3, 20
+        mvi r4, 0
+        mvif f2, r4
+        mvif f3, r3
+        mvi r3, 0x40
+        shli r3, r3, 24
+        mvif f4, r4
+        mvif f5, r3
+        div.df f2, f2, f4
+        mvfi r2, f3
+        """
+        assert result_r2(body, isa) == 0x3FE00000
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_conversion_roundtrip(self, isa):
+        body = """
+        mvi r3, -9
+        mvif f2, r3
+        si2df f4, f2
+        df2si f6, f4
+        mvfi r2, f6
+        """
+        assert result_r2(body, isa) == (-9) & 0xFFFFFFFF
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_fp_compare_and_rdsr(self, isa):
+        body = """
+        mvi r3, 0xFF
+        shli r3, r3, 22
+        mvif f2, r3
+        mvi r3, 0x40
+        shli r3, r3, 4
+        addi r3, r3, 2
+        shli r3, r3, 20
+        mvif f4, r3
+        cmplt.sf f2, f4
+        rdsr r2
+        """
+        assert result_r2(body, isa) == 1
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_fp_neg(self, isa):
+        body = """
+        mvi r3, 0xFF
+        shli r3, r3, 22
+        mvif f2, r3
+        neg.sf f4, f2
+        mvfi r2, f4
+        """
+        assert result_r2(body, isa) == 0xBFC00000
+
+
+class TestDlxeZeroRegister:
+    def test_r0_reads_zero_after_write_attempt(self):
+        body = """
+        mvi r0, 55
+        mv r2, r0
+        """
+        assert result_r2(body, DLXE) == 0
+
+    def test_d16_r0_is_writable(self):
+        body = """
+        mvi r0, 55
+        mv r2, r0
+        """
+        assert result_r2(body, D16) == 55
+
+
+class TestTraps:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_putc_getc(self, isa):
+        body = """
+        trap 2
+        addi r2, r2, 1
+        trap 1
+        """
+        stats, _machine = run_asm(body, isa, stdin=b"A")
+        assert stats.output == "B"
+
+
+class TestGuards:
+    def test_pc_out_of_text(self):
+        with pytest.raises(MachineError, match="outside text"):
+            run_asm("mvi r3, 0\nldc r4, z\nj r4\n.align 4\nz: .word 16\n",
+                    D16)
+
+    def test_instruction_limit(self):
+        from repro.machine import Machine
+        from repro.asm import assemble, link
+
+        exe = link([assemble(HEADER + "spin: br spin\n", D16)])
+        machine = Machine(exe)
+        with pytest.raises(MachineError, match="limit"):
+            machine.run(max_instructions=1000)

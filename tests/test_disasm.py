@@ -1,0 +1,58 @@
+"""Disassembler."""
+
+from repro.asm import assemble, disassemble, format_listing, link
+from repro.isa import D16, DLXE
+
+
+def build(src, isa):
+    return link([assemble(src, isa)])
+
+
+def test_basic_listing():
+    exe = build(".global _start\n_start:\nmvi r2, 7\ntrap 0\n", D16)
+    listing = disassemble(exe)
+    assert listing[0][0] == exe.text_base
+    assert "mvi r2, 7" in listing[0][1]
+    assert "trap 0" in listing[1][1]
+
+
+def test_labels_annotated():
+    exe = build(".global _start\n.global f\n_start:\nnop\nf: nop\n", D16)
+    text = format_listing(exe)
+    assert "_start:" in text
+    assert "f:" in text
+
+
+def test_pool_data_shown_as_word():
+    exe = build("""
+        .global _start
+        _start:
+        ldc r2, pool
+        trap 0
+        .align 4
+        pool: .word 0xFFFFFFFF
+    """, D16)
+    text = format_listing(exe)
+    assert ".word" in text or "0x" in text
+
+
+def test_count_and_start():
+    exe = build(".global _start\n_start:\nnop\nnop\nnop\ntrap 0\n", DLXE)
+    listing = disassemble(exe, start=exe.text_base + 4, count=2)
+    assert len(listing) == 2
+    assert listing[0][0] == exe.text_base + 4
+
+
+def test_dlxe_listing():
+    exe = build("""
+        .global _start
+        _start:
+        addi r3, r0, 100
+        jld f
+        trap 0
+        f:
+        j r1
+    """, DLXE)
+    text = format_listing(exe)
+    assert "addi r3, r0, 100" in text
+    assert "j r1" in text

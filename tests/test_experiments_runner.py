@@ -1,0 +1,58 @@
+"""Experiment runner infrastructure."""
+
+import pytest
+
+from repro.experiments import Lab, default_programs, geomean, mean
+from repro.experiments.runner import MAIN_TARGETS, PAPER_TARGETS
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == 2.0
+        assert geomean([]) == 0.0
+
+    def test_default_programs(self):
+        full = default_programs()
+        fast = default_programs(fast=True)
+        assert len(full) == 15
+        assert set(fast) <= set(full)
+        assert len(fast) < len(full)
+
+    def test_target_lists(self):
+        assert set(MAIN_TARGETS) <= set(PAPER_TARGETS)
+        assert "d16" in PAPER_TARGETS and "dlxe" in PAPER_TARGETS
+
+
+class TestLab:
+    @pytest.fixture(scope="class")
+    def small_lab(self):
+        return Lab()
+
+    def test_run_grid(self, small_lab):
+        grid = small_lab.runs(["ackermann"], ("d16", "dlxe"))
+        assert set(grid) == {"ackermann"}
+        assert set(grid["ackermann"]) == {"d16", "dlxe"}
+
+    def test_executable_shared_between_run_and_trace(self, small_lab):
+        exe_before = small_lab.executable("ackermann", "d16")
+        small_lab.run("ackermann", "d16")
+        assert small_lab.executable("ackermann", "d16") is exe_before
+
+    def test_trace_consistent_with_run(self, small_lab):
+        run = small_lab.run("ackermann", "d16")
+        trace = small_lab.trace("ackermann", "d16")
+        assert trace.run.stats.instructions == run.stats.instructions
+        assert len(trace.itrace) == run.stats.instructions
+        assert len(trace.dtrace) == run.stats.mem_ops
+
+    def test_unknown_benchmark(self, small_lab):
+        with pytest.raises(KeyError):
+            small_lab.run("fortnite", "d16")
+
+    def test_unknown_target(self, small_lab):
+        with pytest.raises(KeyError):
+            small_lab.run("ackermann", "riscv")

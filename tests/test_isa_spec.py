@@ -1,0 +1,99 @@
+"""IsaSpec descriptors and operation metadata invariants."""
+
+import pytest
+
+from repro.isa import (CONTROL_OPS, COND_NEGATE, COND_SWAP, D16, DLXE,
+                       ISAS, OP_INFO, Cond, Op, OpKind, get_isa)
+from repro.isa.operations import D16_CONDS
+
+
+class TestSpecs:
+    def test_lookup(self):
+        assert get_isa("d16") is D16
+        assert get_isa("DLXe") is DLXE
+        with pytest.raises(KeyError):
+            get_isa("mips")
+
+    def test_widths(self):
+        assert D16.width_bits == 16
+        assert DLXE.width_bits == 32
+
+    def test_register_files(self):
+        assert (D16.num_gregs, D16.num_fregs) == (16, 16)
+        assert (DLXE.num_gregs, DLXE.num_fregs) == (32, 32)
+
+    def test_direct_jumps(self):
+        assert not D16.has_direct_jumps
+        assert DLXE.has_direct_jumps
+
+    def test_registry(self):
+        assert set(ISAS) == {"d16", "dlxe"}
+
+
+class TestOperationMetadata:
+    def test_every_op_has_info(self):
+        for op in Op:
+            assert op in OP_INFO
+
+    def test_signatures_validate(self):
+        # Every op's signature mentions only known field names.
+        for op, info in OP_INFO.items():
+            for field in info.signature:
+                assert field in ("rd", "rs1", "rs2", "imm", "cond"), \
+                    (op, field)
+
+    def test_reads_writes_subset_of_signature(self):
+        for op, info in OP_INFO.items():
+            for field in info.reads + info.writes:
+                assert field in info.signature, (op, field)
+
+    def test_math_ops_have_latency_class(self):
+        from repro.machine.pipeline import PipelineParams
+
+        params = PipelineParams()
+        for op, info in OP_INFO.items():
+            if info.kind == OpKind.MATH:
+                assert info.math_class is not None, op
+                assert params.latency_of(info.math_class) >= 1
+
+    def test_control_ops(self):
+        assert Op.BR in CONTROL_OPS
+        assert Op.JL in CONTROL_OPS
+        assert Op.ADD not in CONTROL_OPS
+
+    def test_fp_ops_use_fp_registers(self):
+        info = OP_INFO[Op.ADD_DF]
+        assert all(cls == "f" for cls in info.reg_class.values())
+
+    def test_mvif_bridges_register_files(self):
+        info = OP_INFO[Op.MVIF]
+        assert info.reg_class["rd"] == "f"
+        assert info.reg_class["rs1"] == "g"
+
+
+class TestConditionAlgebra:
+    def test_negate_involution(self):
+        for cond in Cond:
+            assert COND_NEGATE[COND_NEGATE[cond]] == cond
+
+    def test_swap_involution(self):
+        for cond in Cond:
+            assert COND_SWAP[COND_SWAP[cond]] == cond
+
+    def test_swap_closes_over_d16(self):
+        # Any condition can be brought into D16's set by swapping.
+        for cond in Cond:
+            assert cond in D16_CONDS or COND_SWAP[cond] in D16_CONDS
+
+    def test_semantics_of_swap(self):
+        # a < b  <=>  b > a, checked against Python.
+        samples = [(1, 2), (2, 1), (3, 3), (-1, 1)]
+        evaluate = {
+            Cond.LT: lambda a, b: a < b, Cond.GT: lambda a, b: a > b,
+            Cond.LE: lambda a, b: a <= b, Cond.GE: lambda a, b: a >= b,
+            Cond.EQ: lambda a, b: a == b, Cond.NE: lambda a, b: a != b,
+        }
+        for cond, fn in evaluate.items():
+            swapped = COND_SWAP[cond]
+            for a, b in samples:
+                assert fn(a, b) == evaluate[swapped](b, a)

@@ -1,0 +1,93 @@
+"""Instruction/data trace recording used by the cache experiments."""
+
+from repro.asm import assemble, link
+from repro.isa import D16, DLXE
+from repro.machine import Machine
+
+
+def build(src, isa):
+    return link([assemble(src, isa)])
+
+
+SRC = """
+    .text
+    .global _start
+_start:
+    mvi r3, 8
+    shli r3, r3, 12
+    mvi r4, 5
+    st r4, 0(r3)
+    ld r5, 0(r3)
+    stb r4, (r3)
+    ldc r6, pool
+    trap 0
+    .align 4
+pool: .word 99
+"""
+
+
+def test_itrace_records_every_instruction():
+    exe = build(SRC, D16)
+    machine = Machine(exe, trace_instructions=True)
+    stats = machine.run()
+    assert len(machine.itrace) == stats.instructions
+    assert machine.itrace[0] == exe.entry
+    # strictly within text
+    for pc in machine.itrace:
+        assert exe.text_base <= pc < exe.text_base + exe.text_size
+
+
+def test_dtrace_tags_writes():
+    exe = build(SRC, D16)
+    machine = Machine(exe, trace_data=True)
+    stats = machine.run()
+    entries = list(machine.dtrace)
+    # st, ld, stb, ldc = 4 data accesses
+    assert len(entries) == stats.loads + stats.stores == 4
+    writes = [e for e in entries if e & 1]
+    reads = [e for e in entries if not (e & 1)]
+    assert len(writes) == 2            # st + stb
+    assert len(reads) == 2             # ld + ldc
+    assert writes[0] & ~1 == 0x8000
+    # ldc reads from the text segment (literal pools are data reads).
+    assert any(exe.text_base <= (e & ~1) < exe.text_base + exe.text_size
+               for e in reads)
+
+
+def test_traces_disabled_by_default():
+    exe = build(SRC, D16)
+    machine = Machine(exe)
+    machine.run()
+    assert machine.itrace is None
+    assert machine.dtrace is None
+
+
+def test_subword_accesses_word_aligned_in_trace():
+    dlxe_src = SRC.replace("ldc r6, pool", "ld r6, 0(r3)")
+    exe = build(dlxe_src, DLXE)
+    machine = Machine(exe, trace_data=True)
+    machine.run()
+    for entry in machine.dtrace:
+        assert (entry & ~1) % 4 == 0
+
+
+def test_exec_counts_sum_to_instructions():
+    exe = build(SRC, D16)
+    machine = Machine(exe)
+    stats = machine.run()
+    assert sum(stats.exec_counts) == stats.instructions
+    counted = sum(count for instr, count in stats.executed_instructions())
+    assert counted == stats.instructions
+
+
+def test_dynamic_op_counts():
+    from repro.isa import Op
+
+    exe = build(SRC, D16)
+    machine = Machine(exe)
+    stats = machine.run()
+    counts = stats.dynamic_op_counts()
+    assert counts[Op.MVI] == 2
+    assert counts[Op.LD] == 1
+    assert counts[Op.LDC] == 1
+    assert counts[Op.TRAP] == 1

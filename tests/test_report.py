@@ -1,0 +1,34 @@
+"""Table/series rendering helpers."""
+
+from repro.experiments.report import format_series, format_table
+
+
+def test_alignment_and_title():
+    text = format_table(["Name", "Value"], [["a", 1], ["long-name", 22]],
+                        title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1].startswith("Name")
+    # Numeric column right-aligned under its header.
+    assert lines[3].rstrip().endswith("1")
+    assert lines[4].rstrip().endswith("22")
+
+
+def test_float_precision():
+    text = format_table(["x"], [[3.14159]], precision=2)
+    assert "3.14" in text
+    assert "3.142" not in text
+
+
+def test_series_layout():
+    text = format_series("Fig", "t", [0, 1],
+                         {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+    lines = text.splitlines()
+    assert lines[0] == "Fig"
+    assert "t" in lines[1] and "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5    # title, header, rule, 2 rows
+
+
+def test_empty_rows():
+    text = format_table(["only"], [])
+    assert "only" in text

@@ -1,0 +1,51 @@
+"""Trap (system call) handler."""
+
+import pytest
+
+from repro.machine import (TRAP_EXIT, TRAP_GETC, TRAP_PUTC, TRAP_SBRK,
+                           TrapError, TrapHandler)
+
+
+def test_exit_sets_status():
+    handler = TrapHandler()
+    handler.handle(TRAP_EXIT, 7)
+    assert handler.exited
+    assert handler.exit_code == 7
+
+
+def test_putc_accumulates():
+    handler = TrapHandler()
+    for ch in b"hi":
+        handler.handle(TRAP_PUTC, ch)
+    assert handler.output_text == "hi"
+
+
+def test_putc_masks_to_byte():
+    handler = TrapHandler()
+    handler.handle(TRAP_PUTC, 0x141)   # 'A' + 0x100
+    assert handler.output_text == "A"
+
+
+def test_getc_reads_then_eof():
+    handler = TrapHandler(stdin=b"ab")
+    assert handler.handle(TRAP_GETC, 0) == ord("a")
+    assert handler.handle(TRAP_GETC, 0) == ord("b")
+    assert handler.handle(TRAP_GETC, 0) == 0xFFFFFFFF
+
+
+def test_sbrk_bumps():
+    handler = TrapHandler(heap_base=0x4000, heap_limit=0x5000)
+    assert handler.handle(TRAP_SBRK, 16) == 0x4000
+    assert handler.handle(TRAP_SBRK, 16) == 0x4010
+    assert handler.brk == 0x4020
+
+
+def test_sbrk_out_of_memory():
+    handler = TrapHandler(heap_base=0x4000, heap_limit=0x4010)
+    assert handler.handle(TRAP_SBRK, 0x100) == 0xFFFFFFFF
+
+
+def test_unknown_trap():
+    handler = TrapHandler()
+    with pytest.raises(TrapError):
+        handler.handle(99, 0)
