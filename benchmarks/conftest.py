@@ -18,11 +18,14 @@ def pytest_addoption(parser):
     parser.addoption(
         "--fast-suite", action="store_true", default=False,
         help="run experiments on a reduced benchmark subset")
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="fan compile/run grid cells out over N processes")
 
 
 @pytest.fixture(scope="session")
-def lab():
-    return Lab()
+def lab(request):
+    return Lab(jobs=request.config.getoption("--jobs"))
 
 
 @pytest.fixture(scope="session")

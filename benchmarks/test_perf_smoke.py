@@ -1,0 +1,35 @@
+"""Perf smoke harness: times the hot phases and writes BENCH_repro.json.
+
+This seeds the performance trajectory across PRs: the JSON records the
+compile/run/trace/cache-sweep phase times, the warm-artifact-cache
+rerun, and the single-pass vs sequential cache-sweep speedup.
+"""
+
+from pathlib import Path
+
+from repro.bench.timing import BENCH_JSON, time_phases, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_perf_smoke(tmp_path):
+    report = time_phases(program="assem", target="d16",
+                         sequential_baseline=True,
+                         cache_root=tmp_path / "cache")
+    write_bench_json(report, REPO_ROOT / BENCH_JSON)
+
+    phases = report["phases"]
+    for name in ("compile", "run", "trace", "cache_sweep_multi",
+                 "cache_sweep_sequential", "warm_compile", "warm_run",
+                 "warm_trace"):
+        assert name in phases and phases[name] >= 0.0
+
+    # The warm lab must be served entirely from the artifact cache:
+    # zero recompiles, zero re-executions.
+    assert report["warm_cache_misses"] == 0
+    assert report["warm_cache_hits"] >= 3
+    assert phases["warm_run"] < phases["run"] + phases["compile"]
+
+    # The single-pass multi-config sweep must beat the seed's
+    # per-config re-walk (typically ~2.5-3x; assert a safe floor).
+    assert report["cacheperf_speedup"] > 1.2

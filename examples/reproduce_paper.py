@@ -6,10 +6,15 @@ the 15-program suite for all five compiler configurations, simulates
 everything, runs the cache studies, and prints each table/figure in
 order.  Expect ~10 minutes.
 
-Run:  python examples/reproduce_paper.py [--fast]
+Run:  python examples/reproduce_paper.py [--fast] [--jobs N]
+
+Artifacts (compiled executables, run statistics, address traces) are
+memoized in the persistent ``.repro-cache/`` store, so a second
+invocation skips every compile and simulation; ``--jobs N`` fans the
+compile/run grid out over N worker processes.
 """
 
-import sys
+import argparse
 import time
 
 from repro.experiments import (
@@ -32,10 +37,18 @@ def banner(text):
 
 
 def main():
-    fast = "--fast" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced benchmark subset")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="parallel compile/run worker processes")
+    args = parser.parse_args()
+    fast = args.fast
     programs = default_programs(fast=fast)
-    lab = Lab()
+    lab = Lab(jobs=args.jobs)
     started = time.time()
+    from repro.experiments import PAPER_TARGETS
+    lab.runs(programs, PAPER_TARGETS)      # warm the full grid (parallel)
 
     banner("Section 3.1-3.4: density, path length, feature attribution")
     summary = run_summary(lab, programs)

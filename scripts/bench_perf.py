@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Time the pipeline's hot phases and write BENCH_repro.json.
+
+Phases timed (see :mod:`repro.bench.timing`):
+
+* ``compile`` / ``run`` / ``trace``     -- cold, one cache benchmark;
+* ``cache_sweep_multi``                 -- single-pass 1K-16K x 8-64B sweep;
+* ``cache_sweep_sequential``            -- the seed's per-config re-walk;
+* ``warm_compile`` / ``warm_run`` / ``warm_trace``
+                                        -- a fresh lab on the warm cache.
+
+``cacheperf_speedup`` records the sequential/single-pass ratio so the
+perf trajectory of the cache study is tracked across PRs.
+
+Run:  PYTHONPATH=src python scripts/bench_perf.py [-o BENCH_repro.json]
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro.bench.timing import BENCH_JSON, time_phases, write_bench_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default=BENCH_JSON,
+                        help="report path (default %(default)s)")
+    parser.add_argument("-p", "--program", default="assem",
+                        help="cache benchmark to time (default %(default)s)")
+    parser.add_argument("-t", "--target", default="d16")
+    parser.add_argument("--no-sequential", action="store_true",
+                        help="skip the slow sequential-sweep baseline")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        report = time_phases(program=args.program, target=args.target,
+                             sequential_baseline=not args.no_sequential,
+                             cache_root=root)
+    write_bench_json(report, args.output)
+
+    for name, seconds in report["phases"].items():
+        print(f"{name:24s} {seconds:8.3f}s")
+    if "cacheperf_speedup" in report:
+        print(f"{'cacheperf speedup':24s} {report['cacheperf_speedup']:8.2f}x")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Timing harness for the hot phases of the reproduction pipeline.
+
+:func:`time_phases` measures the four wall-clock-dominant phases --
+compile, run, trace, cache sweep -- plus the warm-artifact-cache rerun
+of each, and compares the single-pass multi-configuration cache sweep
+against the seed's sequential per-configuration sweep.  The result dict
+is what ``scripts/bench_perf.py`` serializes into ``BENCH_repro.json``,
+seeding the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..cache import simulate_caches, simulate_caches_grid
+
+BENCH_JSON = "BENCH_repro.json"
+
+
+def time_phases(*, program: str = "assem", target: str = "d16",
+                sizes=None, blocks=None,
+                sequential_baseline: bool = True,
+                cache_root=None) -> dict:
+    """Time each pipeline phase; returns a JSON-serializable report.
+
+    ``cache_root`` names an artifact-cache directory: the cold phases
+    populate it and the warm phases re-read it with a fresh lab, so the
+    report also captures the cross-process cache win.  Without it the
+    cold phases run uncached and the warm phases are skipped.
+    """
+    from ..experiments import Lab
+    from ..experiments.cacheperf import (BLOCK_SIZES, CACHE_SIZES,
+                                         grid_configs)
+    from ..labcache import ArtifactCache, toolchain_fingerprint
+
+    sizes = tuple(sizes) if sizes is not None else CACHE_SIZES
+    blocks = tuple(blocks) if blocks is not None else BLOCK_SIZES
+    configs = grid_configs(sizes, blocks)
+    phases: dict[str, float] = {}
+
+    def clock(name, fn):
+        started = time.perf_counter()
+        value = fn()
+        phases[name] = time.perf_counter() - started
+        return value
+
+    cache = (ArtifactCache(cache_root) if cache_root is not None
+             else False)
+    lab = Lab(cache=cache)
+    clock("compile", lambda: lab.executable(program, target))
+    clock("run", lambda: lab.run(program, target))
+    trace = clock("trace", lambda: lab.trace(program, target))
+
+    grid = clock("cache_sweep_multi", lambda: simulate_caches_grid(
+        trace.itrace, trace.dtrace, trace.run.stats, configs))
+    report = {
+        "schema": 1,
+        "toolchain": toolchain_fingerprint(),
+        "program": program,
+        "target": target,
+        "grid_configs": len(configs),
+        "phases": phases,
+    }
+    if sequential_baseline:
+        sequential = clock("cache_sweep_sequential", lambda: {
+            config: simulate_caches(trace.itrace, trace.dtrace,
+                                    trace.run.stats, icache=config,
+                                    dcache=config)
+            for config in configs})
+        assert sequential == grid, \
+            "single-pass sweep diverged from sequential sweep"
+        report["cacheperf_speedup"] = (phases["cache_sweep_sequential"]
+                                       / phases["cache_sweep_multi"])
+
+    if cache_root is not None:
+        warm_lab = Lab(cache=ArtifactCache(cache_root))
+        clock("warm_compile", lambda: warm_lab.executable(program, target))
+        clock("warm_run", lambda: warm_lab.run(program, target))
+        clock("warm_trace", lambda: warm_lab.trace(program, target))
+        report["warm_cache_hits"] = warm_lab.cache.hits
+        report["warm_cache_misses"] = warm_lab.cache.misses
+    return report
+
+
+def write_bench_json(report: dict, path=BENCH_JSON) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,7 +1,9 @@
 """Trace-driven cache simulation (dinero-equivalent substrate)."""
 
 from .cache import Cache, CacheConfig
-from .hierarchy import CacheRates, dedup_consecutive, simulate_caches
+from .hierarchy import (CacheRates, dedup_consecutive, simulate_caches,
+                        simulate_caches_grid)
+from .multicache import MultiCache
 
-__all__ = ["Cache", "CacheConfig", "CacheRates", "dedup_consecutive",
-           "simulate_caches"]
+__all__ = ["Cache", "CacheConfig", "CacheRates", "MultiCache",
+           "dedup_consecutive", "simulate_caches", "simulate_caches_grid"]

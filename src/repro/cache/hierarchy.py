@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..machine.stats import RunStats
 from .cache import Cache, CacheConfig
+from .multicache import MultiCache
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,11 @@ def simulate_caches(itrace, dtrace, stats: RunStats, *,
     dcache_sim = Cache(dcache)
     icache_sim.run_reads(dedup_consecutive(itrace))
     dcache_sim.run_tagged(dtrace)
+    return _rates(stats, icache_sim, dcache_sim)
+
+
+def _rates(stats: RunStats, icache_sim: Cache,
+           dcache_sim: Cache) -> CacheRates:
     return CacheRates(
         instructions=stats.instructions,
         imisses=icache_sim.read_misses,
@@ -81,3 +87,21 @@ def simulate_caches(itrace, dtrace, stats: RunStats, *,
         itraffic_words=icache_sim.traffic_words,
         dtraffic_words=dcache_sim.traffic_words,
     )
+
+
+def simulate_caches_grid(itrace, dtrace, stats: RunStats,
+                         configs) -> dict[CacheConfig, CacheRates]:
+    """Run traces through a whole grid of geometries in one pass each.
+
+    Equivalent to calling :func:`simulate_caches` once per config (same
+    geometry for the I- and D-cache, the paper's setup) but walks the
+    instruction trace and the data trace exactly once, updating every
+    configuration simultaneously.
+    """
+    configs = list(configs)
+    imulti = MultiCache(configs)
+    dmulti = MultiCache(configs)
+    imulti.run_reads(dedup_consecutive(itrace))
+    dmulti.run_tagged(dtrace)
+    return {config: _rates(stats, imulti[config], dmulti[config])
+            for config in configs}

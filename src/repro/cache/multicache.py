@@ -1,0 +1,169 @@
+"""Single-pass simulation of many cache geometries over one trace.
+
+The paper's cache study sweeps a size x block grid (1K-16K x 8-64B) over
+the same address traces; simulating each geometry separately walks a
+multi-hundred-thousand-entry trace once *per configuration*.  A
+:class:`MultiCache` walks the trace exactly once while updating every
+configuration simultaneously:
+
+* configurations sharing a sub-block size share one guaranteed-hit
+  check: an access to the same sub-block as the immediately preceding
+  access must hit in *every* geometry (the previous access either hit
+  or filled that sub-block), so the whole per-config loop is skipped;
+* configurations are then grouped by ``(block, sub_block)`` so the
+  block index and sub-block bit are computed once per group;
+* each configuration keeps its own tag/valid arrays and counters with
+  the exact update rules of :class:`~repro.cache.cache.Cache`, so the
+  per-configuration results are bit-identical to a sequential sweep
+  (property-tested in ``tests/test_multicache.py``).
+
+All geometry parameters are powers of two (enforced by
+:class:`CacheConfig`), so the address arithmetic uses shifts and masks.
+Results are exposed as real :class:`Cache` objects: downstream code
+reads the same ``read_misses``/``traffic_words`` counters either way.
+"""
+
+from __future__ import annotations
+
+from .cache import Cache, CacheConfig
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+class MultiCache:
+    """Many direct-mapped sub-blocked caches fed by one trace walk."""
+
+    def __init__(self, configs):
+        self.caches: dict[CacheConfig, Cache] = {}
+        for config in configs:
+            if config not in self.caches:
+                self.caches[config] = Cache(config)
+
+    def __getitem__(self, config: CacheConfig) -> Cache:
+        return self.caches[config]
+
+    def __iter__(self):
+        return iter(self.caches.values())
+
+    def _plan(self):
+        """Shared-arithmetic execution plan for one trace walk.
+
+        Returns mutable entries ``[sub_shift, prev_sub_addr, groups]``,
+        one per distinct sub-block size; ``groups`` is one tuple per
+        distinct ``(block, sub_block)``::
+
+            (block_shift, nsubs_mask, nsubs, words, members)
+
+        and each member carries its per-config state::
+
+            (line_mask, tag_shift, tags, valid, counters, cache)
+
+        with ``counters = [read_misses, write_misses, traffic_words]``
+        flushed into the owning :class:`Cache` after the walk.
+        """
+        by_sub: dict[int, dict[tuple[int, int], list]] = {}
+        for config, cache in self.caches.items():
+            groups = by_sub.setdefault(config.sub_block, {})
+            members = groups.setdefault((config.block, config.sub_block),
+                                        [])
+            members.append((config.num_lines - 1, _log2(config.num_lines),
+                            cache.tags, cache.valid, [0, 0, 0], cache))
+        plan = []
+        for sub_size, groups in by_sub.items():
+            packed = []
+            for (block, sub), members in groups.items():
+                nsubs = block // sub
+                packed.append((_log2(block), nsubs - 1, nsubs, sub // 4,
+                               members))
+            plan.append([_log2(sub_size), -1, packed])
+        return plan
+
+    def _flush(self, plan, reads: int, writes: int) -> None:
+        for _sub_shift, _prev, groups in plan:
+            for _bs, _nm, _ns, _w, members in groups:
+                for _lm, _ts, _tags, _valid, counters, cache in members:
+                    cache.read_accesses += reads
+                    cache.write_accesses += writes
+                    cache.read_misses += counters[0]
+                    cache.write_misses += counters[1]
+                    cache.traffic_words += counters[2]
+
+    # ------------------------------------------------------------ streams
+
+    def run_reads(self, addresses) -> None:
+        """Feed a read-only stream to every configuration at once."""
+        plan = self._plan()
+        count = 0
+        for addr in addresses:
+            count += 1
+            for entry in plan:
+                sub_addr = addr >> entry[0]
+                if sub_addr == entry[1]:
+                    continue
+                entry[1] = sub_addr
+                for block_shift, nsubs_mask, nsubs, words, members \
+                        in entry[2]:
+                    block_index = addr >> block_shift
+                    sub = sub_addr & nsubs_mask
+                    bit = 1 << sub
+                    for line_mask, tag_shift, tags, valid, counters, \
+                            _cache in members:
+                        line = block_index & line_mask
+                        tag = block_index >> tag_shift
+                        if tags[line] == tag:
+                            if valid[line] & bit:
+                                continue
+                        else:
+                            tags[line] = tag
+                            valid[line] = 0
+                        counters[0] += 1
+                        next_bit = 1 << ((sub + 1) & nsubs_mask)
+                        counters[2] += words * (
+                            1 + ((valid[line] & next_bit) == 0))
+                        valid[line] |= bit | next_bit
+        self._flush(plan, count, 0)
+
+    def run_tagged(self, stream) -> None:
+        """Feed an ``addr | 1``-tagged read/write stream to every config."""
+        plan = self._plan()
+        reads = writes = 0
+        for entry_addr in stream:
+            write = entry_addr & 1
+            addr = entry_addr & ~1
+            if write:
+                writes += 1
+            else:
+                reads += 1
+            for entry in plan:
+                sub_addr = addr >> entry[0]
+                if sub_addr == entry[1]:
+                    continue
+                entry[1] = sub_addr
+                for block_shift, nsubs_mask, nsubs, words, members \
+                        in entry[2]:
+                    block_index = addr >> block_shift
+                    sub = sub_addr & nsubs_mask
+                    bit = 1 << sub
+                    for line_mask, tag_shift, tags, valid, counters, \
+                            _cache in members:
+                        line = block_index & line_mask
+                        tag = block_index >> tag_shift
+                        if tags[line] == tag:
+                            if valid[line] & bit:
+                                continue
+                        else:
+                            tags[line] = tag
+                            valid[line] = 0
+                        if write:
+                            counters[1] += 1
+                            counters[2] += words
+                            valid[line] |= bit
+                        else:
+                            counters[0] += 1
+                            next_bit = 1 << ((sub + 1) & nsubs_mask)
+                            counters[2] += words * (
+                                1 + ((valid[line] & next_bit) == 0))
+                            valid[line] |= bit | next_bit
+        self._flush(plan, reads, writes)

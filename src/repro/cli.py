@@ -7,6 +7,7 @@ Commands:
 * ``disasm``   — compile and disassemble the linked image
 * ``bench``    — run benchmark programs on several targets, one table
 * ``targets``  — list compiler configurations
+* ``cache``    — inspect or clear the persistent artifact cache
 """
 
 from __future__ import annotations
@@ -86,19 +87,37 @@ def cmd_disasm(args) -> int:
 def cmd_bench(args) -> int:
     from .experiments import Lab
 
-    lab = Lab()
+    lab = Lab(jobs=args.jobs)
     names = args.names or [bench.name for bench in SUITE]
     targets = args.targets.split(",")
+    for name in names:
+        get_benchmark(name)       # validate early
+    grid = lab.runs(names, targets)
     header = f"{'program':12s}" + "".join(
         f"{t + ' size':>16s}{t + ' path':>16s}" for t in targets)
     print(header)
     for name in names:
-        get_benchmark(name)       # validate early
         row = f"{name:12s}"
         for target in targets:
-            run = lab.run(name, target)
+            run = grid[name][target]
             row += f"{run.binary_size:16d}{run.path_length:16d}"
         print(row)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .labcache import default_cache
+
+    cache = default_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    state = "enabled" if cache.enabled else "disabled (REPRO_CACHE=off)"
+    print(f"artifact cache : {stats.root} ({state})")
+    print(f"entries        : {stats.entries}")
+    print(f"total size     : {stats.total_bytes / 1024:.1f} KiB")
     return 0
 
 
@@ -149,10 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark names (default: all)")
     p.add_argument("--targets", default="d16,dlxe",
                    help="comma-separated target list")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="compile/run grid cells in N parallel processes")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("targets", help="list compiler configurations")
     p.set_defaults(fn=cmd_targets)
+
+    p = sub.add_parser("cache", help="persistent artifact cache")
+    p.add_argument("action", choices=("stats", "clear"),
+                   help="show cache statistics or delete all entries")
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 

@@ -18,7 +18,7 @@ from .memperf import (MemPerfResult, format_figure14, format_figure15,
 from .cacheperf import (CACHE_PROGRAMS, CacheStudy, format_figure16,
                         format_figure19, format_figures_17_18,
                         format_miss_rate_table, format_table13,
-                        run_cache_study)
+                        grid_configs, run_cache_study)
 
 __all__ = [
     "CACHE_PROGRAMS", "CacheStudy", "DataTrafficResult", "DensityResult",
@@ -31,7 +31,8 @@ __all__ = [
     "format_figures_6_7", "format_miss_rate_table", "format_table3",
     "format_table4", "format_table5", "format_table6", "format_table7",
     "format_table8", "format_table9", "format_table10", "format_table13",
-    "format_tables_11_12", "geomean", "mean", "run_cache_study",
+    "format_tables_11_12", "geomean", "grid_configs", "mean",
+    "run_cache_study",
     "run_data_traffic", "run_density", "run_immediates", "run_interlocks",
     "run_memperf", "run_pathlength", "run_summary", "run_traffic",
 ]

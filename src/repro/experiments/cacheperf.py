@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cache import CacheConfig, CacheRates, simulate_caches
+from ..cache import CacheConfig, CacheRates, simulate_caches_grid
 from .report import format_series, format_table
 from .runner import Lab, TraceRun
 
@@ -60,29 +60,37 @@ class CacheStudy:
                 + penalty * point.rates.total_misses)
 
 
+def grid_configs(sizes=CACHE_SIZES, blocks=BLOCK_SIZES,
+                 sub_block: int = SUB_BLOCK) -> list[CacheConfig]:
+    """The paper's size x block parameter grid as CacheConfig objects."""
+    return [CacheConfig(size=size, block=block, sub_block=sub_block)
+            for size in sizes for block in blocks if block >= sub_block]
+
+
 def run_cache_study(lab: Lab, programs=CACHE_PROGRAMS, *,
                     sizes=CACHE_SIZES, blocks=BLOCK_SIZES,
                     targets=("d16", "dlxe"),
                     sub_block: int = SUB_BLOCK) -> CacheStudy:
-    """Simulate the cache grid over traced runs."""
+    """Simulate the cache grid over traced runs.
+
+    The whole size x block grid is simulated in one pass over each
+    trace (see :class:`repro.cache.MultiCache`) instead of re-walking
+    the trace once per geometry.
+    """
+    configs = grid_configs(sizes, blocks, sub_block)
     points: dict[tuple, CachePoint] = {}
     traces: dict[tuple[str, str], TraceRun] = {}
     for program in programs:
         for target in targets:
             trace = lab.trace(program, target)
             traces[(program, target)] = trace
-            for size in sizes:
-                for block in blocks:
-                    if block < sub_block:
-                        continue
-                    config = CacheConfig(size=size, block=block,
-                                         sub_block=sub_block)
-                    rates = simulate_caches(
-                        trace.itrace, trace.dtrace, trace.run.stats,
-                        icache=config, dcache=config)
-                    point = CachePoint(program=program, target=target,
-                                       size=size, block=block, rates=rates)
-                    points[point.key] = point
+            rates_by_config = simulate_caches_grid(
+                trace.itrace, trace.dtrace, trace.run.stats, configs)
+            for config, rates in rates_by_config.items():
+                point = CachePoint(program=program, target=target,
+                                   size=config.size, block=config.block,
+                                   rates=rates)
+                points[point.key] = point
     return CacheStudy(points=points, traces=traces)
 
 

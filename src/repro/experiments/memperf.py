@@ -62,9 +62,14 @@ class MemPerfResult:
 
 def run_memperf(lab: Lab, programs=None, *,
                 bus_bits: int = 32,
-                wait_states=WAIT_STATES) -> MemPerfResult:
-    """Sweep memory wait states for cacheless D16 and DLXe machines."""
-    grid = lab.runs(programs, ("d16", "dlxe"))
+                wait_states=WAIT_STATES,
+                jobs: int | None = None) -> MemPerfResult:
+    """Sweep memory wait states for cacheless D16 and DLXe machines.
+
+    ``jobs`` overrides the lab's process fan-out for the underlying
+    compile/run grid (the wait-state sweep itself is arithmetic).
+    """
+    grid = lab.runs(programs, ("d16", "dlxe"), jobs=jobs)
     rows = []
     result = MemPerfResult(bus_bits=bus_bits, rows=rows)
     for name, runs in grid.items():

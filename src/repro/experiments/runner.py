@@ -2,17 +2,29 @@
 
 :class:`Lab` compiles and runs (benchmark, target) pairs once and
 memoizes the results, since most experiments slice the same underlying
-measurements different ways.  Traces for the cache experiments are
-gathered lazily and kept only for the three cache programs.
+measurements different ways.  Memoization is two-level: an in-process
+dict, backed by the persistent content-addressed artifact cache of
+:mod:`repro.labcache` so a *second process* (another pytest run, an
+example script) skips compilation and execution entirely.
+
+Grid execution fans out over a process pool when ``jobs > 1``; each
+worker compiles and runs one (benchmark, target) cell, publishes the
+artifacts into the shared on-disk cache, and returns picklable results
+that the parent assembles in deterministic grid order -- parallel
+output is byte-identical to sequential output.
 """
 
 from __future__ import annotations
 
+import math
+from array import array
 from dataclasses import dataclass
 from typing import Iterable
 
 from ..bench import SUITE, Benchmark, check_output, get_benchmark
 from ..cc import build_executable, get_target
+from ..labcache import (ArtifactCache, params_fingerprint, resolve_cache,
+                        source_fingerprint, target_fingerprint)
 from ..machine import RunStats, run_executable
 from ..machine.pipeline import PipelineParams
 
@@ -52,15 +64,53 @@ class ExperimentError(Exception):
 
 
 class Lab:
-    """Compiles, runs, and caches benchmark executions."""
+    """Compiles, runs, and caches benchmark executions.
+
+    ``cache`` selects the persistent artifact cache: ``None`` uses the
+    environment default (``.repro-cache/``, honouring ``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``), ``False`` disables persistence, and an
+    :class:`~repro.labcache.ArtifactCache` (or a path) uses that store.
+    ``jobs`` is the default process fan-out for :meth:`runs`.
+    """
 
     def __init__(self, *, params: PipelineParams | None = None,
-                 verify_output: bool = True):
+                 verify_output: bool = True,
+                 cache=None, jobs: int = 1):
         self.params = params or PipelineParams()
         self.verify_output = verify_output
+        self.cache: ArtifactCache = resolve_cache(cache)
+        self.jobs = max(1, int(jobs))
         self._runs: dict[tuple[str, str], ProgramRun] = {}
         self._traces: dict[tuple[str, str], TraceRun] = {}
         self._executables: dict[tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------- keys
+
+    def _cell_material(self, bench: Benchmark, target_name: str) -> dict:
+        return {
+            "bench": bench.name,
+            "source": source_fingerprint(bench.source),
+            "target": target_fingerprint(get_target(target_name)),
+            "opt_level": 2,
+            "runtime": True,
+        }
+
+    def _exe_key(self, bench: Benchmark, target_name: str) -> str:
+        return self.cache.make_key("exe",
+                                   self._cell_material(bench, target_name))
+
+    def _run_material(self, bench: Benchmark, target_name: str) -> dict:
+        material = self._cell_material(bench, target_name)
+        material["params"] = params_fingerprint(self.params)
+        return material
+
+    def _run_key(self, bench: Benchmark, target_name: str) -> str:
+        return self.cache.make_key("run",
+                                   self._run_material(bench, target_name))
+
+    def _trace_key(self, bench: Benchmark, target_name: str) -> str:
+        return self.cache.make_key("trace",
+                                   self._run_material(bench, target_name))
 
     # ------------------------------------------------------------ access
 
@@ -68,25 +118,46 @@ class Lab:
         key = (bench_name, target_name)
         if key not in self._executables:
             bench = get_benchmark(bench_name)
-            result = build_executable(bench.source, get_target(target_name))
-            self._executables[key] = result.executable
+            get_target(target_name)          # validate early
+            cache_key = self._exe_key(bench, target_name)
+            exe = self.cache.get(cache_key)
+            if exe is None:
+                result = build_executable(bench.source,
+                                          get_target(target_name))
+                exe = result.executable
+                self.cache.put(cache_key, exe)
+            self._executables[key] = exe
         return self._executables[key]
 
+    def _check(self, bench: Benchmark, target_name: str,
+               stats: RunStats) -> None:
+        if self.verify_output and not check_output(bench, stats.output):
+            raise ExperimentError(
+                f"{bench.name} on {target_name} produced unexpected "
+                f"output: {stats.output!r}")
+
     def run(self, bench_name: str, target_name: str) -> ProgramRun:
-        """Compile and execute (memoized)."""
+        """Compile and execute (memoized in-process and on disk)."""
         key = (bench_name, target_name)
         if key in self._runs:
             return self._runs[key]
         bench = get_benchmark(bench_name)
-        exe = self.executable(bench_name, target_name)
-        stats, _machine = run_executable(exe, params=self.params)
-        if self.verify_output and not check_output(bench, stats.output):
-            raise ExperimentError(
-                f"{bench_name} on {target_name} produced unexpected "
-                f"output: {stats.output!r}")
-        run = ProgramRun(bench=bench, target_name=target_name, stats=stats,
-                         binary_size=exe.binary_size,
-                         text_size=exe.text_size)
+        get_target(target_name)              # validate early
+        cache_key = self._run_key(bench, target_name)
+        payload = self.cache.get(cache_key)
+        if payload is None:
+            exe = self.executable(bench_name, target_name)
+            stats, _machine = run_executable(exe, params=self.params)
+            self._check(bench, target_name, stats)
+            payload = {"stats": stats, "binary_size": exe.binary_size,
+                       "text_size": exe.text_size}
+            self.cache.put(cache_key, payload)
+        else:
+            self._check(bench, target_name, payload["stats"])
+        run = ProgramRun(bench=bench, target_name=target_name,
+                         stats=payload["stats"],
+                         binary_size=payload["binary_size"],
+                         text_size=payload["text_size"])
         self._runs[key] = run
         return run
 
@@ -96,42 +167,107 @@ class Lab:
         if key in self._traces:
             return self._traces[key]
         bench = get_benchmark(bench_name)
-        exe = self.executable(bench_name, target_name)
-        stats, machine = run_executable(
-            exe, params=self.params,
-            trace_instructions=True, trace_data=True)
-        if self.verify_output and not check_output(bench, stats.output):
-            raise ExperimentError(
-                f"{bench_name} on {target_name} produced unexpected "
-                f"output: {stats.output!r}")
-        run = ProgramRun(bench=bench, target_name=target_name, stats=stats,
-                         binary_size=exe.binary_size,
-                         text_size=exe.text_size)
-        trace = TraceRun(run=run, itrace=machine.itrace,
-                         dtrace=machine.dtrace)
+        cache_key = self._trace_key(bench, target_name)
+        payload = self.cache.get(cache_key)
+        if payload is None:
+            exe = self.executable(bench_name, target_name)
+            stats, machine = run_executable(
+                exe, params=self.params,
+                trace_instructions=True, trace_data=True)
+            self._check(bench, target_name, stats)
+            itrace, dtrace = machine.itrace, machine.dtrace
+            self.cache.put(cache_key, {
+                "stats": stats, "binary_size": exe.binary_size,
+                "text_size": exe.text_size,
+                "itrace": itrace.tobytes(), "dtrace": dtrace.tobytes()})
+        else:
+            self._check(bench, target_name, payload["stats"])
+            stats = payload["stats"]
+            itrace = array("I")
+            itrace.frombytes(payload["itrace"])
+            dtrace = array("I")
+            dtrace.frombytes(payload["dtrace"])
+            exe = None
+        run = ProgramRun(
+            bench=bench, target_name=target_name, stats=stats,
+            binary_size=(exe.binary_size if exe is not None
+                         else payload["binary_size"]),
+            text_size=(exe.text_size if exe is not None
+                       else payload["text_size"]))
+        trace = TraceRun(run=run, itrace=itrace, dtrace=dtrace)
         self._traces[key] = trace
         return trace
 
     def runs(self, programs: Iterable[str] | None = None,
              targets: Iterable[str] = MAIN_TARGETS,
+             jobs: int | None = None,
              ) -> dict[str, dict[str, ProgramRun]]:
-        """Run a program x target grid; returns runs[program][target]."""
+        """Run a program x target grid; returns runs[program][target].
+
+        With ``jobs > 1`` the missing cells are fanned out over a
+        process pool; results are assembled in grid order, so the
+        returned structure is identical to a sequential run.
+        """
         names = list(programs) if programs is not None \
             else [bench.name for bench in SUITE]
+        targets = tuple(targets)
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        pending = [(name, target) for name in names for target in targets
+                   if (name, target) not in self._runs]
+        if jobs > 1 and len(pending) > 1:
+            self._fan_out(pending, jobs)
         grid: dict[str, dict[str, ProgramRun]] = {}
         for name in names:
             grid[name] = {t: self.run(name, t) for t in targets}
         return grid
 
+    def _fan_out(self, cells, jobs: int) -> None:
+        """Compile+run grid cells in worker processes (deterministic)."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        for name, target in cells:         # validate before forking
+            get_benchmark(name)
+            get_target(target)
+        work = [(name, target, self.params, self.verify_output,
+                 str(self.cache.root), self.cache.enabled)
+                for name, target in cells]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            # executor.map preserves submission order: assembly below is
+            # independent of worker completion order.
+            for name, target, stats, binary_size, text_size in pool.map(
+                    _grid_cell_worker, work):
+                self._runs[(name, target)] = ProgramRun(
+                    bench=get_benchmark(name), target_name=target,
+                    stats=stats, binary_size=binary_size,
+                    text_size=text_size)
+
+
+def _grid_cell_worker(job):
+    """Run one (benchmark, target) cell in a worker process."""
+    bench_name, target_name, params, verify, cache_root, cache_enabled = job
+    lab = Lab(params=params, verify_output=verify,
+              cache=ArtifactCache(cache_root, enabled=cache_enabled),
+              jobs=1)
+    run = lab.run(bench_name, target_name)
+    return (bench_name, target_name, run.stats, run.binary_size,
+            run.text_size)
+
 
 def geomean(values: Iterable[float]) -> float:
+    """Geometric mean via log-sum, stable for long value lists.
+
+    A raw product over/underflows doubles after a few hundred ratios;
+    ``exp(mean(log x))`` stays in range.  Zeros propagate to 0.0 (the
+    limit of the product form); negatives are rejected.
+    """
     values = list(values)
     if not values:
         return 0.0
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    if any(value < 0 for value in values):
+        raise ValueError("geomean of negative values is undefined")
+    if any(value == 0 for value in values):
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
 
 
 def mean(values: Iterable[float]) -> float:

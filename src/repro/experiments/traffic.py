@@ -49,8 +49,9 @@ class TrafficResult:
         return mean(row.traffic_saving for row in self.rows)
 
 
-def run_traffic(lab: Lab, programs=None) -> TrafficResult:
-    grid = lab.runs(programs, ("d16", "dlxe"))
+def run_traffic(lab: Lab, programs=None, *,
+                jobs: int | None = None) -> TrafficResult:
+    grid = lab.runs(programs, ("d16", "dlxe"), jobs=jobs)
     rows = []
     for name, runs in grid.items():
         d16, dlxe = runs["d16"], runs["dlxe"]
@@ -111,9 +112,10 @@ class InterlockRow:
         return self.dlxe_interlocks / self.dlxe_instructions
 
 
-def run_interlocks(lab: Lab, programs=None) -> list[InterlockRow]:
+def run_interlocks(lab: Lab, programs=None, *,
+                   jobs: int | None = None) -> list[InterlockRow]:
     """Table 10: delayed-load and math-unit interlocks."""
-    grid = lab.runs(programs, ("d16", "dlxe"))
+    grid = lab.runs(programs, ("d16", "dlxe"), jobs=jobs)
     rows = []
     for name, runs in grid.items():
         rows.append(InterlockRow(

@@ -1,0 +1,229 @@
+"""Persistent, content-addressed artifact cache for the experiment lab.
+
+Compiling and simulating the 15-program x 5-target grid dominates the
+wall-clock cost of reproducing the paper, yet the inputs rarely change
+between runs.  This module memoizes the three expensive artifact kinds
+across *processes*:
+
+* ``exe``   -- linked :class:`~repro.asm.objfile.Executable` images,
+* ``run``   -- :class:`~repro.machine.stats.RunStats` plus binary sizes,
+* ``trace`` -- run stats together with zlib-compressed address traces.
+
+Every artifact is stored under a SHA-256 key derived from *all* inputs
+that can change the result: the benchmark source text, the full
+:class:`~repro.cc.target.TargetSpec` fingerprint (ISA, register-file
+size, two/three-address, immediate width), the pipeline latency
+parameters, and the toolchain version.  Changing any of these yields a
+different key, so stale entries are never served -- they are simply
+orphaned and reclaimed by ``python -m repro cache clear``.
+
+Layout on disk (``.repro-cache/`` by default, override with
+``REPRO_CACHE_DIR``; set ``REPRO_CACHE=off`` to disable)::
+
+    .repro-cache/
+      v1/                     <- schema version; bumping orphans everything
+        ab/abcdef....bin      <- zlib(pickle(payload)), named by key
+
+Writes are atomic (temp file + ``os.replace``) so concurrent writers --
+the ``jobs=N`` process pool -- can share one cache directory; both
+writers produce identical bytes for identical keys, so the race is
+benign.  Corrupt or unreadable entries are treated as misses and
+deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Bump to orphan every existing cache entry (on-disk format changes).
+SCHEMA_VERSION = "v1"
+
+#: Environment switches.
+ENV_DIR = "REPRO_CACHE_DIR"
+ENV_TOGGLE = "REPRO_CACHE"
+
+DEFAULT_DIRNAME = ".repro-cache"
+
+
+def toolchain_fingerprint() -> str:
+    """Version string folded into every key (versioned invalidation)."""
+    from .cc.driver import toolchain_fingerprint as cc_fingerprint
+
+    return cc_fingerprint()
+
+
+def source_fingerprint(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def target_fingerprint(target) -> dict:
+    """Every :class:`TargetSpec` knob that can change generated code."""
+    return {
+        "name": target.name,
+        "isa": target.isa.name,
+        "num_gregs": target.num_gregs,
+        "num_fregs": target.num_fregs,
+        "three_address": target.three_address,
+        "wide_immediates": target.wide_immediates,
+    }
+
+
+def params_fingerprint(params) -> dict:
+    """Every :class:`PipelineParams` knob that can change run statistics."""
+    return {
+        "load_delay": params.load_delay,
+        "math_latency": sorted(params.math_latency.items()),
+    }
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(ENV_TOGGLE, "").lower() not in (
+        "off", "0", "no", "false")
+
+
+def default_cache_root() -> Path:
+    return Path(os.environ.get(ENV_DIR) or DEFAULT_DIRNAME)
+
+
+@dataclass
+class CacheStats:
+    """What ``python -m repro cache stats`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    hits: int = 0
+    misses: int = 0
+
+
+class ArtifactCache:
+    """Content-addressed pickle store shared by every lab process."""
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 enabled: bool = True):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- keys
+
+    def make_key(self, kind: str, material: dict) -> str:
+        """Derive the content address for one artifact.
+
+        ``material`` must contain every input that can change the
+        artifact; the toolchain version and schema are always mixed in.
+        """
+        record = {
+            "kind": kind,
+            "schema": SCHEMA_VERSION,
+            "toolchain": toolchain_fingerprint(),
+            **material,
+        }
+        blob = json.dumps(record, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / SCHEMA_VERSION / key[:2] / f"{key}.bin"
+
+    # ------------------------------------------------------------ get/put
+
+    def get(self, key: str):
+        """Load an artifact, or None on miss (never raises)."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            payload = pickle.loads(zlib.decompress(blob))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt/truncated/unpicklable entry: drop it, treat as miss.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload) -> None:
+        """Store an artifact atomically (no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = zlib.compress(pickle.dumps(payload, protocol=4), 6)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -------------------------------------------------------- maintenance
+
+    def _entries(self):
+        base = self.root / SCHEMA_VERSION
+        if not base.is_dir():
+            return
+        for path in sorted(base.glob("*/*.bin")):
+            yield path
+
+    def stats(self) -> CacheStats:
+        entries = total = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(root=str(self.root), entries=entries,
+                          total_bytes=total, hits=self.hits,
+                          misses=self.misses)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def default_cache() -> ArtifactCache:
+    """The process-default cache, honouring REPRO_CACHE/REPRO_CACHE_DIR."""
+    return ArtifactCache(enabled=cache_enabled())
+
+
+def resolve_cache(cache) -> ArtifactCache:
+    """Normalize a ``Lab(cache=...)`` argument.
+
+    ``None`` -> the environment-default cache; ``False`` -> a disabled
+    cache; an :class:`ArtifactCache` passes through.
+    """
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return ArtifactCache(enabled=False)
+    if isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)

@@ -15,6 +15,20 @@ class TestHelpers:
         assert geomean([1.0, 4.0]) == 2.0
         assert geomean([]) == 0.0
 
+    def test_geomean_no_overflow_on_long_lists(self):
+        """Log-sum form: a raw product would overflow to inf here."""
+        assert geomean([1e300] * 10) == pytest.approx(1e300, rel=1e-9)
+        assert geomean([2.0] * 2000) == pytest.approx(2.0, rel=1e-9)
+
+    def test_geomean_no_underflow(self):
+        """A raw product would underflow to 0.0 here."""
+        assert geomean([1e-200] * 300) == pytest.approx(1e-200, rel=1e-9)
+
+    def test_geomean_zero_and_negative(self):
+        assert geomean([0.0, 5.0]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
     def test_default_programs(self):
         full = default_programs()
         fast = default_programs(fast=True)
@@ -56,3 +70,35 @@ class TestLab:
     def test_unknown_target(self, small_lab):
         with pytest.raises(KeyError):
             small_lab.run("ackermann", "riscv")
+
+
+class TestParallelGrid:
+    PROGRAMS = ("ackermann", "queens")
+
+    def test_jobs2_equals_jobs1(self, tmp_path):
+        """Parallel fan-out must assemble the identical grid."""
+        sequential = Lab(cache=False)
+        grid1 = sequential.runs(self.PROGRAMS, MAIN_TARGETS, jobs=1)
+        parallel = Lab(cache=tmp_path / "cache")
+        grid2 = parallel.runs(self.PROGRAMS, MAIN_TARGETS, jobs=2)
+
+        assert list(grid1) == list(grid2)
+        for name in grid1:
+            assert list(grid1[name]) == list(grid2[name])
+            for target in grid1[name]:
+                a, b = grid1[name][target], grid2[name][target]
+                assert a.stats == b.stats
+                assert (a.binary_size, a.text_size) == \
+                    (b.binary_size, b.text_size)
+                assert a.bench is b.bench and a.target_name == b.target_name
+
+    def test_parallel_workers_populate_shared_cache(self, tmp_path):
+        lab = Lab(cache=tmp_path / "cache")
+        lab.runs(("ackermann",), MAIN_TARGETS, jobs=2)
+        # Both cells (exe + run artifacts) must be on disk now.
+        assert lab.cache.stats().entries >= 4
+
+    def test_invalid_cell_raises_before_forking(self, tmp_path):
+        lab = Lab(cache=False)
+        with pytest.raises(KeyError):
+            lab.runs(("ackermann", "fortnite"), MAIN_TARGETS, jobs=2)

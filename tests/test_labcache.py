@@ -1,0 +1,210 @@
+"""Persistent artifact cache: keys, invalidation, round-trips."""
+
+import dataclasses
+import pickle
+import zlib
+
+import pytest
+
+from repro.cc import get_target
+from repro.experiments import Lab
+from repro.experiments.runner import ExperimentError
+from repro.labcache import (ArtifactCache, default_cache_root,
+                            params_fingerprint, resolve_cache,
+                            source_fingerprint, target_fingerprint)
+from repro.machine.pipeline import PipelineParams
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+SOURCE_A = "int main() { puti(1); return 0; }"
+SOURCE_B = "int main() { puti(2); return 0; }"
+
+
+def exe_material(source, target):
+    return {"source": source_fingerprint(source),
+            "target": target_fingerprint(get_target(target))}
+
+
+class TestKeys:
+    def test_key_is_stable(self, cache):
+        assert cache.make_key("exe", exe_material(SOURCE_A, "d16")) == \
+            cache.make_key("exe", exe_material(SOURCE_A, "d16"))
+
+    def test_source_mutation_changes_key(self, cache):
+        assert cache.make_key("exe", exe_material(SOURCE_A, "d16")) != \
+            cache.make_key("exe", exe_material(SOURCE_B, "d16"))
+
+    def test_target_changes_key(self, cache):
+        assert cache.make_key("exe", exe_material(SOURCE_A, "d16")) != \
+            cache.make_key("exe", exe_material(SOURCE_A, "dlxe"))
+
+    @pytest.mark.parametrize("knob, value", [
+        ("num_gregs", 8), ("num_fregs", 8),
+        ("three_address", False), ("wide_immediates", False)])
+    def test_every_targetspec_knob_changes_key(self, cache, knob, value):
+        """Mutating any codegen restriction must produce a new key."""
+        base = get_target("dlxe")
+        assert getattr(base, knob) != value
+        mutated = dataclasses.replace(base, **{knob: value})
+        k1 = cache.make_key("exe", {"target": target_fingerprint(base)})
+        k2 = cache.make_key("exe", {"target": target_fingerprint(mutated)})
+        assert k1 != k2
+
+    def test_pipeline_params_change_key(self, cache):
+        p1 = params_fingerprint(PipelineParams())
+        p2 = params_fingerprint(PipelineParams(load_delay=2))
+        assert cache.make_key("run", {"params": p1}) != \
+            cache.make_key("run", {"params": p2})
+
+    def test_kind_namespaces_keys(self, cache):
+        material = exe_material(SOURCE_A, "d16")
+        assert cache.make_key("run", material) != \
+            cache.make_key("trace", material)
+
+    def test_toolchain_version_changes_key(self, cache, monkeypatch):
+        key_before = cache.make_key("exe", {})
+        monkeypatch.setattr("repro.labcache.toolchain_fingerprint",
+                            lambda: "repro-99.0.0")
+        assert cache.make_key("exe", {}) != key_before
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        key = cache.make_key("run", {"x": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"stats": [1, 2, 3]})
+        assert cache.get(key) == {"stats": [1, 2, 3]}
+
+    def test_stale_entry_never_served(self, cache):
+        """An artifact stored for source A is invisible to source B."""
+        key_a = cache.make_key("exe", exe_material(SOURCE_A, "d16"))
+        cache.put(key_a, "artifact-for-A")
+        key_b = cache.make_key("exe", exe_material(SOURCE_B, "d16"))
+        assert cache.get(key_b) is None
+
+    def test_corrupt_entry_is_a_miss_and_deleted(self, cache):
+        key = cache.make_key("exe", {})
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(b"not zlib data")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_unpicklable_garbage_is_a_miss(self, cache):
+        key = cache.make_key("exe", {})
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(zlib.compress(b"\x80\x05garbage"))
+        assert cache.get(key) is None
+
+    def test_disabled_cache_stores_nothing(self, tmp_path):
+        cache = ArtifactCache(tmp_path, enabled=False)
+        key = cache.make_key("exe", {})
+        cache.put(key, "payload")
+        assert cache.get(key) is None
+        assert not list(tmp_path.rglob("*.bin"))
+
+    def test_stats_and_clear(self, cache):
+        for i in range(3):
+            cache.put(cache.make_key("exe", {"i": i}), i)
+        stats = cache.stats()
+        assert stats.entries == 3 and stats.total_bytes > 0
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_hit_miss_counters(self, cache):
+        key = cache.make_key("exe", {})
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestResolve:
+    def test_false_disables(self):
+        assert resolve_cache(False).enabled is False
+
+    def test_none_uses_default_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None).root == default_cache_root()
+
+    def test_env_off_disables_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert resolve_cache(None).enabled is False
+
+    def test_env_dir_overrides_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert resolve_cache(None).root == tmp_path / "alt"
+
+    def test_path_becomes_cache(self, tmp_path):
+        cache = resolve_cache(tmp_path / "c")
+        assert isinstance(cache, ArtifactCache)
+        assert cache.root == tmp_path / "c"
+
+
+class TestLabPersistence:
+    def test_second_lab_skips_compilation_and_execution(self, tmp_path,
+                                                        monkeypatch):
+        root = tmp_path / "cache"
+        lab = Lab(cache=ArtifactCache(root))
+        first = lab.run("ackermann", "d16")
+        trace = lab.trace("ackermann", "d16")
+
+        # A fresh lab on the same store must never compile or execute.
+        monkeypatch.setattr(
+            "repro.experiments.runner.build_executable",
+            lambda *a, **k: pytest.fail("warm lab recompiled"))
+        monkeypatch.setattr(
+            "repro.experiments.runner.run_executable",
+            lambda *a, **k: pytest.fail("warm lab re-executed"))
+        warm = Lab(cache=ArtifactCache(root))
+        second = warm.run("ackermann", "d16")
+        assert second.stats.instructions == first.stats.instructions
+        assert second.binary_size == first.binary_size
+        assert second.stats.output == first.stats.output
+
+        warm_trace = warm.trace("ackermann", "d16")
+        assert list(warm_trace.itrace) == list(trace.itrace)
+        assert list(warm_trace.dtrace) == list(trace.dtrace)
+        assert warm.cache.misses == 0 and warm.cache.hits >= 2
+
+    def test_cached_stats_support_dynamic_counts(self, tmp_path):
+        """Pickled RunStats keep the per-site execution counts."""
+        root = tmp_path / "cache"
+        Lab(cache=ArtifactCache(root)).run("ackermann", "d16")
+        warm = Lab(cache=ArtifactCache(root)).run("ackermann", "d16")
+        counts = warm.stats.dynamic_op_counts()
+        assert counts and sum(counts.values()) == warm.stats.instructions
+
+    def test_output_verified_even_on_cache_hit(self, tmp_path):
+        root = tmp_path / "cache"
+        lab = Lab(cache=ArtifactCache(root))
+        lab.run("ackermann", "d16")
+        # Tamper with the cached payload: the warm lab must notice.
+        warm = Lab(cache=ArtifactCache(root))
+        bench = __import__("repro.bench", fromlist=["get_benchmark"])
+        key = warm._run_key(bench.get_benchmark("ackermann"), "d16")
+        payload = warm.cache.get(key)
+        payload["stats"].output = "tampered"
+        warm.cache.put(key, payload)
+        fresh = Lab(cache=ArtifactCache(root))
+        with pytest.raises(ExperimentError):
+            fresh.run("ackermann", "d16")
+
+    def test_different_params_do_not_share_runs(self, tmp_path):
+        """New pipeline params miss the run cache but share the exe."""
+        root = tmp_path / "cache"
+        lab1 = Lab(cache=ArtifactCache(root))
+        lab1.run("ackermann", "d16")
+        lab2 = Lab(cache=ArtifactCache(root),
+                   params=PipelineParams(load_delay=2))
+        bench = __import__("repro.bench", fromlist=["get_benchmark"])
+        assert lab2._run_key(bench.get_benchmark("ackermann"), "d16") != \
+            lab1._run_key(bench.get_benchmark("ackermann"), "d16")
+        lab2.run("ackermann", "d16")
+        # run artifact missed (different params), exe artifact hit.
+        assert lab2.cache.misses >= 1
+        assert lab2.cache.hits >= 1

@@ -1,0 +1,128 @@
+"""MultiCache: single-pass grid simulation equals per-config simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (Cache, CacheConfig, MultiCache, dedup_consecutive,
+                         simulate_caches, simulate_caches_grid)
+from repro.machine import RunStats
+
+#: A deliberately heterogeneous grid: several sizes, block sizes and
+#: *two* sub-block sizes, so group- and sub-level sharing is exercised.
+GRID = [CacheConfig(size=size, block=block, sub_block=sub)
+        for size in (256, 512, 1024, 4096)
+        for block in (8, 16, 32)
+        for sub in (4, 8)
+        if block >= sub]
+
+
+def counters(cache: Cache):
+    return (cache.read_accesses, cache.read_misses, cache.write_accesses,
+            cache.write_misses, cache.traffic_words)
+
+
+def random_trace(n, seed, *, tagged=False, span=0x8000):
+    rng = random.Random(seed)
+    out = []
+    addr = 0
+    for _ in range(n):
+        if rng.random() < 0.7:          # mostly sequential, some jumps
+            addr = (addr + 4) % span
+        else:
+            addr = rng.randrange(0, span, 4)
+        entry = addr
+        if tagged and rng.random() < 0.3:
+            entry |= 1
+        out.append(entry)
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_run_reads_equals_single_cache(self, seed):
+        addrs = random_trace(3000, seed)
+        multi = MultiCache(GRID)
+        multi.run_reads(addrs)
+        for config in GRID:
+            single = Cache(config)
+            single.run_reads(addrs)
+            assert counters(multi[config]) == counters(single), config
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_run_tagged_equals_single_cache(self, seed):
+        stream = random_trace(3000, seed, tagged=True)
+        multi = MultiCache(GRID)
+        multi.run_tagged(stream)
+        for config in GRID:
+            single = Cache(config)
+            single.run_tagged(stream)
+            assert counters(multi[config]) == counters(single), config
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 0x3FFF).map(lambda a: a & ~3),
+                    max_size=300))
+    def test_property_reads(self, addrs):
+        multi = MultiCache(GRID)
+        multi.run_reads(addrs)
+        for config in GRID:
+            single = Cache(config)
+            single.run_reads(addrs)
+            assert counters(multi[config]) == counters(single)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 0x3FFF).map(lambda a: a & ~2),
+                    max_size=300))
+    def test_property_tagged(self, stream):
+        multi = MultiCache(GRID)
+        multi.run_tagged(stream)
+        for config in GRID:
+            single = Cache(config)
+            single.run_tagged(stream)
+            assert counters(multi[config]) == counters(single)
+
+    def test_consecutive_same_subblock_fast_path(self):
+        """The guaranteed-hit skip must still count accesses."""
+        addrs = [0x100, 0x104, 0x100, 0x104, 0x108]     # one 8B sub-block x2
+        multi = MultiCache(GRID)
+        multi.run_reads(addrs)
+        for config in GRID:
+            single = Cache(config)
+            single.run_reads(addrs)
+            assert counters(multi[config]) == counters(single)
+
+    def test_duplicate_configs_collapse(self):
+        config = CacheConfig(size=512, block=32, sub_block=8)
+        multi = MultiCache([config, config])
+        assert len(list(multi)) == 1
+
+
+class TestGridSimulation:
+    def test_simulate_caches_grid_equals_simulate_caches(self):
+        itrace = random_trace(4000, 7)
+        dtrace = random_trace(1500, 8, tagged=True)
+        stats = RunStats(instructions=4000, loads=1000, stores=500)
+        grid = simulate_caches_grid(itrace, dtrace, stats, GRID)
+        for config in GRID:
+            expected = simulate_caches(itrace, dtrace, stats,
+                                       icache=config, dcache=config)
+            assert grid[config] == expected, config
+
+    def test_grid_walks_trace_once(self):
+        """The trace iterables are consumed exactly once (generators)."""
+        itrace = iter(random_trace(500, 3))
+        dtrace = iter(random_trace(200, 4, tagged=True))
+        stats = RunStats(instructions=500, loads=100, stores=50)
+        grid = simulate_caches_grid(itrace, dtrace, stats, GRID)
+        assert len(grid) == len(set(GRID))
+
+    def test_dedup_interaction(self):
+        """Grid I-stream path dedups like the single-config path."""
+        addrs = [0x100, 0x102, 0x104, 0x104, 0x100]
+        config = CacheConfig(size=256, block=32, sub_block=8)
+        multi = MultiCache([config])
+        multi.run_reads(dedup_consecutive(addrs))
+        single = Cache(config)
+        single.run_reads(dedup_consecutive(addrs))
+        assert counters(multi[config]) == counters(single)
