@@ -1,0 +1,27 @@
+"""Static analysis: IR verifier, binary/assembly linter, lint driver.
+
+Three layers keep the density/path-length experiments honest:
+
+* :mod:`~repro.analysis.irverify` — compiler IR invariants (CFG shape,
+  def-before-use dataflow, register classes, stack slots), also run
+  between optimizer passes under ``--verify-ir``;
+* :mod:`~repro.analysis.binlint` — encoding limits, round-trip
+  byte-equality, control-flow targets, unreachable code, and
+  calling-convention discipline of linked images;
+* :mod:`~repro.analysis.driver` — orchestration over programs and
+  benchmark suites, feeding ``repro lint``.
+"""
+
+from .binlint import lint_assembly, lint_executable
+from .driver import (DEFAULT_TARGETS, LintReport, lint_program,
+                     lint_suite)
+from .findings import (Finding, RULES, Rule, Severity, finding,
+                       has_errors, render_json, render_text, summarize)
+from .irverify import verify_function, verify_module
+
+__all__ = [
+    "DEFAULT_TARGETS", "Finding", "LintReport", "RULES", "Rule",
+    "Severity", "finding", "has_errors", "lint_assembly",
+    "lint_executable", "lint_program", "lint_suite", "render_json",
+    "render_text", "summarize", "verify_function", "verify_module",
+]

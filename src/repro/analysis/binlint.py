@@ -1,0 +1,271 @@
+"""Binary and assembly linter for D16/DLXe program images.
+
+Two entry points:
+
+* :func:`lint_assembly` range-checks every instruction statement of an
+  assembly listing against the target ISA (``supports``), reporting
+  each violation as an ENC001 finding instead of stopping at the first
+  assembler error.
+* :func:`lint_executable` walks a linked image: a static reachability
+  sweep from the entry point and every function label classifies text
+  words as code or (D16) literal-pool data, then checks that every
+  reachable word decodes (BIN002) and re-encodes byte-identically
+  (BIN001), that static control-flow targets stay inside the text
+  segment (BIN003) and never land in pool data (BIN004), and warns
+  about decodable-but-unreached words (BIN005).  With a
+  :class:`~repro.cc.target.TargetSpec` it additionally lints the
+  calling convention: a callee-saved register written inside a
+  function with no matching spill-store to the frame is CC001, and a
+  function that makes calls without saving the link register is CC002.
+
+The calling-convention check is evidence-based: a store of the
+register to a stack-pointer- or assembler-temporary-based address
+counts as a save, and an ``mvfi`` reading a floating-point register
+counts as saving its pair.  This can miss a clobber (never invent one)
+when a function stores the register for unrelated reasons.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..asm.assembler import AsmError, Assembler
+from ..asm.objfile import Executable
+from ..isa import DecodingError, IsaSpec, OP_INFO, Op
+from .findings import Finding, finding
+
+_STATIC_BRANCHES = (Op.BR, Op.BZ, Op.BNZ)
+_STATIC_JUMPS = (Op.JD, Op.JLD)
+_CALLS = (Op.JL, Op.JLD)
+#: Ops after which execution cannot fall through.
+_NO_FALLTHROUGH = (Op.BR, Op.J, Op.JD)
+
+_REG_LINK = 1
+_SAVE_BASES = (9, 15)     # assembler temporary (AT), stack pointer
+
+
+def lint_assembly(source: str, isa: IsaSpec) -> list[Finding]:
+    """Check every instruction of ``source`` against ``isa``'s limits."""
+    out: list[Finding] = []
+    asm = Assembler(isa)
+    try:
+        scanned = list(asm.scan(source))
+    except AsmError as exc:
+        return [finding("ENC001", f"{isa.name}:line {exc.line_no}",
+                        str(exc))]
+    for stmt, instr, error in scanned:
+        loc = f"{isa.name}:line {stmt.line_no}"
+        if error is not None:
+            out.append(finding("ENC001", loc, str(error)))
+            continue
+        reason = isa.supports(instr)
+        if reason is not None:
+            out.append(finding("ENC001", loc, f"'{instr}': {reason}"))
+    return out
+
+
+def lint_executable(exe: Executable, isa: IsaSpec, *,
+                    symbols: dict[str, int] | None = None,
+                    target=None) -> list[Finding]:
+    """Lint a linked image; see the module docstring for the rules.
+
+    ``symbols`` maps label names to absolute text addresses (the
+    executable's own table only retains globals; the lint driver passes
+    the full label map from the object file).  Non-dot text symbols
+    are treated as function starts: reachability roots and
+    calling-convention extents.
+    """
+    symbols = dict(symbols if symbols is not None else exe.symbols)
+    base, text = exe.text_base, bytes(exe.text)
+    end = base + len(text)
+    width = isa.width_bytes
+    funcs = sorted((addr, name) for name, addr in symbols.items()
+                   if not name.startswith(".") and base <= addr < end)
+    describe = _locator(symbols, base, end)
+
+    out: list[Finding] = []
+    decoded: dict[int, object] = {}
+
+    def instr_at(addr):
+        if addr in decoded:
+            return decoded[addr]
+        word = int.from_bytes(text[addr - base:addr - base + width],
+                              "little")
+        try:
+            result = (word, isa.decode(word))
+        except DecodingError as exc:
+            result = (word, exc)
+        decoded[addr] = result
+        return result
+
+    visited: set[int] = set()
+    pool: set[int] = set()       # byte addresses occupied by pool data
+    targets: list[tuple[int, int]] = []     # (branch addr, target addr)
+    stack = [exe.entry] + [addr for addr, _name in funcs]
+    while stack:
+        pc = stack.pop()
+        if pc in visited or not base <= pc < end:
+            continue
+        visited.add(pc)
+        word, instr = instr_at(pc)
+        if isinstance(instr, DecodingError):
+            out.append(finding(
+                "BIN002", describe(pc),
+                f"word {word:#0{2 + width * 2}x} is reachable but does "
+                f"not decode: {instr}"))
+            continue
+        if isa.encode(instr) != word:
+            out.append(finding(
+                "BIN001", describe(pc),
+                f"{word:#0{2 + width * 2}x} decodes to '{instr}' which "
+                f"re-encodes to {isa.encode(instr):#x}"))
+        op = instr.op
+        if op == Op.LDC:
+            addr = (pc & ~3) + instr.imm
+            if not base <= addr < end:
+                out.append(finding(
+                    "BIN003", describe(pc),
+                    f"'{instr}' pool reference {addr:#x} is outside "
+                    f"the text segment"))
+            else:
+                pool.update(range(addr, addr + 4))
+        elif op in _STATIC_BRANCHES or op in _STATIC_JUMPS:
+            tgt = instr.imm if op in _STATIC_JUMPS else pc + instr.imm
+            targets.append((pc, tgt))
+            if not base <= tgt < end:
+                out.append(finding(
+                    "BIN003", describe(pc),
+                    f"'{instr}' targets {tgt:#x}, outside the text "
+                    f"segment [{base:#x}, {end:#x})"))
+            else:
+                stack.append(tgt)
+        if op == Op.TRAP and instr.imm == 0:
+            continue                         # trap 0 halts the machine
+        if op not in _NO_FALLTHROUGH:
+            stack.append(pc + width)
+
+    for pc, tgt in targets:
+        if tgt in pool:
+            _word, instr = instr_at(pc)
+            out.append(finding(
+                "BIN004", describe(pc),
+                f"'{instr}' targets {tgt:#x} ({describe(tgt)}), which "
+                f"is literal-pool data"))
+    executed_pool = sorted(addr for addr in visited if addr in pool)
+    for addr in executed_pool:
+        out.append(finding(
+            "BIN004", describe(addr),
+            "literal-pool data is reachable as code"))
+
+    out.extend(_unreachable_runs(base, end, width, visited, pool,
+                                 instr_at, describe))
+    if target is not None:
+        out.extend(_lint_calling_convention(funcs, end, width, visited,
+                                            instr_at, target, describe))
+    return out
+
+
+def _unreachable_runs(base, end, width, visited, pool, instr_at,
+                      describe):
+    """BIN005 warnings, merged into contiguous address runs.
+
+    Only decodable words count: pool slack, alignment padding, and
+    other non-code bytes do not decode on either ISA (guaranteed by
+    the strict decoders), so flagging them would be noise.
+    """
+    run_start = None
+    count = 0
+    for pc in range(base, end, width):
+        dead = pc not in visited and pc not in pool \
+            and not isinstance(instr_at(pc)[1], DecodingError)
+        if dead and run_start is None:
+            run_start, count = pc, 1
+        elif dead:
+            count += 1
+        elif run_start is not None:
+            yield finding(
+                "BIN005", describe(run_start),
+                f"{count} decodable instruction(s) at "
+                f"[{run_start:#x}, {run_start + count * width:#x}) are "
+                f"unreachable from the entry point and every function")
+            run_start = None
+    if run_start is not None:
+        yield finding(
+            "BIN005", describe(run_start),
+            f"{count} decodable instruction(s) at "
+            f"[{run_start:#x}, {end:#x}) are unreachable from the "
+            f"entry point and every function")
+
+
+def _lint_calling_convention(funcs, text_end, width, visited, instr_at,
+                             target, describe):
+    """CC001/CC002 over each function's visited instructions."""
+    for index, (start, name) in enumerate(funcs):
+        span_end = funcs[index + 1][0] if index + 1 < len(funcs) \
+            else text_end
+        int_writes: dict[int, int] = {}     # reg -> first write address
+        fp_writes: dict[int, int] = {}      # even pair -> first write
+        saved: set[int] = set()
+        saved_pairs: set[int] = set()
+        link_saved = False
+        calls: list[int] = []
+        for pc in range(start, span_end, width):
+            if pc not in visited:
+                continue
+            _word, instr = instr_at(pc)
+            if isinstance(instr, DecodingError):
+                continue
+            info = OP_INFO[instr.op]
+            if instr.op == Op.ST and instr.rs1 in _SAVE_BASES:
+                saved.add(instr.rs2)
+                if instr.rs2 == _REG_LINK:
+                    link_saved = True
+            if instr.op == Op.MVFI:
+                saved_pairs.add(instr.rs1 & ~1)
+            if instr.op in _CALLS:
+                calls.append(pc)
+            for field in info.writes:
+                reg = getattr(instr, field)
+                if reg is None:
+                    continue
+                if info.reg_class.get(field) == "f":
+                    pair = reg & ~1
+                    if pair in target.callee_saved_fp_pairs:
+                        fp_writes.setdefault(pair, pc)
+                elif reg in target.callee_saved_int:
+                    int_writes.setdefault(reg, pc)
+        for reg, pc in sorted(int_writes.items()):
+            if reg not in saved:
+                yield finding(
+                    "CC001", describe(pc),
+                    f"callee-saved r{reg} written in {name} with no "
+                    f"spill to the frame")
+        for pair, pc in sorted(fp_writes.items()):
+            if pair not in saved_pairs:
+                yield finding(
+                    "CC001", describe(pc),
+                    f"callee-saved f{pair} pair written in {name} with "
+                    f"no save to the frame")
+        if calls and not link_saved and name != "_start":
+            yield finding(
+                "CC002", describe(calls[0]),
+                f"{name} makes calls but never saves the link "
+                f"register r{_REG_LINK}")
+
+
+def _locator(symbols, base, end):
+    """address -> ``text:0xADDR (name+off)`` describer."""
+    marks = sorted((addr, name) for name, addr in symbols.items()
+                   if base <= addr <= end)
+    addrs = [addr for addr, _name in marks]
+
+    def describe(addr: int) -> str:
+        index = bisect_right(addrs, addr) - 1
+        if index < 0:
+            return f"text:{addr:#x}"
+        mark_addr, name = marks[index]
+        offset = addr - mark_addr
+        suffix = f"+{offset:#x}" if offset else ""
+        return f"text:{addr:#x} ({name}{suffix})"
+
+    return describe

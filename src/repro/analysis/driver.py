@@ -1,0 +1,112 @@
+"""Lint orchestration: run every analysis layer over compiled programs.
+
+:func:`lint_program` takes one minic source through the full pipeline —
+IR verification between optimizer passes, assembly-level encoding
+checks, and binary-level lint of the linked image — and returns the
+accumulated findings.  :func:`lint_suite` fans that out over benchmark
+programs and targets, producing one :class:`LintReport` per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..asm import AsmError, Assembler, link
+from ..bench import SUITE, get_benchmark
+from ..cc import TargetSpec, get_target
+from ..cc.codegen import generate_assembly
+from ..cc.irgen import lower_program
+from ..cc.opt import PassVerificationError, optimize_module
+from ..cc.parser import parse
+from ..cc.runtime import RUNTIME_SOURCE
+from .binlint import lint_assembly, lint_executable
+from .findings import Finding, finding, has_errors
+from .irverify import verify_module
+
+#: The two headline machines, linted by default.
+DEFAULT_TARGETS = ("d16", "dlxe")
+
+
+@dataclass
+class LintReport:
+    """All findings for one (program, target) cell."""
+
+    program: str
+    target: str
+    findings: list[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.findings)
+
+
+def lint_program(source: str, target: TargetSpec | str, *,
+                 opt_level: int = 2,
+                 include_runtime: bool = True) -> list[Finding]:
+    """Run all three lint layers over one program; returns findings.
+
+    Layers run in dependency order and later layers are skipped once an
+    earlier one reports errors (broken IR produces garbage assembly;
+    unencodable assembly cannot be linked).
+    """
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    module = lower_program(parse(full_source))
+
+    # Per-pass verification localizes errors to the offending pass;
+    # the post-optimization sweep adds the warning-level rules (the
+    # *initial* IR legitimately holds unreachable blocks that irgen
+    # emits for simplify_cfg to collect — not worth reporting).
+    findings: list[Finding] = []
+    try:
+        optimize_module(module, level=opt_level, verify=True)
+    except PassVerificationError as exc:
+        findings.extend(
+            finding(f.rule, f.location,
+                    f"after pass '{exc.pass_name}': {f.message}")
+            for f in exc.findings)
+        return findings
+    findings.extend(verify_module(module))
+    if has_errors(findings):
+        return findings
+
+    assembly = generate_assembly(module, target, schedule=opt_level >= 1)
+    findings.extend(lint_assembly(assembly, target.isa))
+    if has_errors(findings):
+        return findings
+
+    try:
+        obj = Assembler(target.isa).assemble(assembly)
+        exe = link([obj])
+    except AsmError as exc:
+        findings.append(finding(
+            "ENC001", f"{target.isa.name}:line {exc.line_no}", str(exc)))
+        return findings
+    # The executable's symbol table only retains globals; rebuild the
+    # full label map from the object file (single-object link: section
+    # offsets translate directly to absolute addresses).
+    symbols = {sym.name: exe.text_base + sym.value
+               for sym in obj.symbols.values() if sym.section == "text"}
+    findings.extend(lint_executable(exe, target.isa, symbols=symbols,
+                                    target=target))
+    return findings
+
+
+def lint_suite(targets: Iterable[str] = DEFAULT_TARGETS,
+               programs: Iterable[str] | None = None, *,
+               opt_level: int = 2) -> list[LintReport]:
+    """Lint benchmark programs on each target; one report per cell."""
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    reports = []
+    for name in names:
+        bench = get_benchmark(name)
+        for target_name in targets:
+            reports.append(LintReport(
+                program=name, target=target_name,
+                findings=lint_program(bench.source, target_name,
+                                      opt_level=opt_level)))
+    return reports

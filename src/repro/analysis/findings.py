@@ -1,0 +1,112 @@
+"""Structured findings shared by every static-analysis layer.
+
+A :class:`Finding` is one diagnostic: a stable rule id (catalogued in
+:data:`RULES`), a severity, a human-readable location, and a message.
+Findings render as text (one line each) or JSON so that CI, the
+experiment runner, and humans can all consume the same output.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogued lint rule."""
+
+    id: str
+    severity: Severity
+    title: str
+
+
+#: The rule catalog.  Ids are stable; docs/linting.md documents each one.
+RULES: dict[str, Rule] = {r.id: r for r in (
+    # IR verifier (repro.analysis.irverify)
+    Rule("IR001", Severity.ERROR, "block has no terminator"),
+    Rule("IR002", Severity.ERROR, "terminator in the middle of a block"),
+    Rule("IR003", Severity.ERROR, "branch target does not exist"),
+    Rule("IR004", Severity.ERROR, "duplicate block label"),
+    Rule("IR005", Severity.WARNING, "block unreachable from entry"),
+    Rule("IR006", Severity.ERROR, "virtual register used before definition"),
+    Rule("IR007", Severity.ERROR, "virtual register id reused inconsistently"),
+    Rule("IR008", Severity.ERROR, "operand register class mismatch"),
+    Rule("IR009", Severity.ERROR, "stack slot not registered with function"),
+    Rule("IR010", Severity.WARNING, "memory access outside stack slot bounds"),
+    # Assembly linter (repro.analysis.binlint.lint_assembly)
+    Rule("ENC001", Severity.ERROR, "instruction not encodable on target ISA"),
+    # Binary linter (repro.analysis.binlint.lint_executable)
+    Rule("BIN001", Severity.ERROR, "encode/decode round-trip mismatch"),
+    Rule("BIN002", Severity.ERROR, "reachable word does not decode"),
+    Rule("BIN003", Severity.ERROR, "control-flow target outside text segment"),
+    Rule("BIN004", Severity.ERROR, "control-flow target lands in pool data"),
+    Rule("BIN005", Severity.WARNING, "unreachable code in text segment"),
+    Rule("CC001", Severity.ERROR, "callee-saved register clobbered "
+                                  "without spill"),
+    Rule("CC002", Severity.ERROR, "link register not saved across calls"),
+)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a lint layer."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.severity.value}: {self.rule} {self.location}: " \
+               f"{self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "severity": self.severity.value,
+                "location": self.location, "message": self.message}
+
+
+def finding(rule_id: str, location: str, message: str,
+            severity: Severity | None = None) -> Finding:
+    """Build a finding, defaulting severity from the rule catalog."""
+    rule = RULES[rule_id]
+    return Finding(rule=rule_id, severity=severity or rule.severity,
+                   location=location, message=message)
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    return any(f.severity == Severity.ERROR for f in findings)
+
+
+def summarize(findings: Iterable[Finding]) -> dict:
+    """Counts by severity and by rule (for ``repro lint --stats``)."""
+    by_rule: dict[str, int] = {}
+    by_severity: dict[str, int] = {}
+    total = 0
+    for f in findings:
+        total += 1
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        by_severity[f.severity.value] = \
+            by_severity.get(f.severity.value, 0) + 1
+    return {"total": total, "by_rule": dict(sorted(by_rule.items())),
+            "by_severity": dict(sorted(by_severity.items()))}
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)
+
+
+def render_json(findings: Iterable[Finding], **extra) -> str:
+    findings = list(findings)
+    payload = {"findings": [f.to_dict() for f in findings],
+               "summary": summarize(findings)}
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,7 +1,7 @@
 """Assembler, linker and object-file model."""
 
 from .assembler import AsmError, Assembler, assemble
-from .disasm import disassemble, format_listing
+from .disasm import check_roundtrip, disassemble, format_listing
 from .linker import STACK_TOP, TEXT_BASE, link
 from .objfile import (Executable, LinkError, ObjectFile, Reloc, Relocation,
                       Section, Symbol)
@@ -10,6 +10,7 @@ from .parser import AsmSyntaxError, parse_line, parse_source
 __all__ = [
     "AsmError", "AsmSyntaxError", "Assembler", "Executable", "LinkError",
     "ObjectFile", "Reloc", "Relocation", "STACK_TOP", "Section", "Symbol",
-    "TEXT_BASE", "assemble", "disassemble", "format_listing", "link",
+    "TEXT_BASE", "assemble", "check_roundtrip", "disassemble",
+    "format_listing", "link",
     "parse_line", "parse_source",
 ]

@@ -80,6 +80,27 @@ class Assembler:
         self._pass2(items, obj)
         return obj
 
+    def scan(self, source: str):
+        """Yield ``(statement, instr, error)`` for every instruction.
+
+        Unlike :meth:`assemble`, operand mapping continues past a bad
+        statement (``instr`` is then ``None`` and ``error`` the
+        :class:`AsmError`); the lint layers use this to report every
+        unencodable instruction instead of dying at the first.
+        """
+        statements = parse_source(source)
+        items, labels, _globals, _equs = self._pass1(statements)
+        self._labels = labels
+        for item in items:
+            if item.stmt.mnemonic.startswith("."):
+                continue
+            try:
+                instr, _reloc = self._build_instr(item)
+            except AsmError as exc:
+                yield item.stmt, None, exc
+                continue
+            yield item.stmt, instr, None
+
     # ------------------------------------------------------------- pass 1
 
     def _pass1(self, statements):
@@ -198,7 +219,16 @@ class Assembler:
                 value -= 1 << (width * 8)
             section.data.extend(struct.pack(fmt, value))
 
-    def _emit_instr(self, item: _Item, obj: ObjectFile) -> None:
+    def _build_instr(self, item: _Item):
+        """Map a parsed statement onto an :class:`Instr`.
+
+        Returns ``(instr, reloc)`` where ``reloc`` is the pending
+        relocation triple (kind, symbol, addend) or ``None``.  Operand
+        mapping and validation happen here, *encoding* in
+        :meth:`_emit_instr` — the binary linter reuses this method to
+        range-check instructions without stopping at the first
+        encoding failure.
+        """
         stmt = item.stmt
         op, cond = MNEMONICS[stmt.mnemonic]
         info = OP_INFO[op]
@@ -237,10 +267,16 @@ class Assembler:
         instr = Instr(op=op, **fields)
         try:
             instr.validate()
+        except Exception as exc:
+            raise AsmError(f"{stmt.mnemonic}: {exc}", stmt.line_no)
+        return instr, reloc
+
+    def _emit_instr(self, item: _Item, obj: ObjectFile) -> None:
+        stmt = item.stmt
+        instr, reloc = self._build_instr(item)
+        try:
             word = self.isa.encode(instr)
-        except (EncodingError, Exception) as exc:
-            if not isinstance(exc, EncodingError):
-                raise AsmError(f"{stmt.mnemonic}: {exc}", stmt.line_no)
+        except EncodingError as exc:
             raise AsmError(str(exc), stmt.line_no)
         section = obj.section(item.section)
         section.data.extend(word.to_bytes(self.isa.width_bytes, "little"))

@@ -1,17 +1,70 @@
-"""Disassembler for linked executables (debugging aid)."""
+"""Disassembler for linked executables (debugging aid).
+
+Every decodable word renders as its assembly form; anything else (pool
+constants, padding) falls back to ``.word``.  Control transfers and
+PC-relative pool loads are annotated with their resolved absolute
+target and, when the symbol table covers it, the nearest label — which
+makes listings cross-referenceable with the binary linter's findings.
+"""
 
 from __future__ import annotations
 
-from ..isa import DecodingError, get_isa
+from ..isa import DecodingError, Instr, IsaSpec, Op, get_isa
 from .objfile import Executable
+
+#: Ops whose operand encodes a PC-relative displacement.
+_PCREL = (Op.BR, Op.BZ, Op.BNZ)
+#: Ops whose operand encodes an absolute word-scaled address.
+_ABS = (Op.JD, Op.JLD)
+
+
+def check_roundtrip(isa: IsaSpec, instr: Instr) -> str | None:
+    """Encode -> decode -> re-encode; ``None`` if byte-identical.
+
+    Returns a description of the first mismatch otherwise.  The binary
+    linter's BIN001 rule and the encoding property tests are built on
+    this invariant: for every encodable instruction the decoder must
+    recover an instruction producing the same word.
+    """
+    word = isa.encode(instr)
+    try:
+        decoded = isa.decode(word)
+    except DecodingError as exc:
+        return f"'{instr}' encodes to {word:#x} which does not decode: {exc}"
+    back = isa.encode(decoded)
+    if back != word:
+        return (f"'{instr}' -> {word:#x} -> '{decoded}' -> {back:#x}: "
+                f"round-trip is not byte-identical")
+    return None
+
+
+def _target_of(instr: Instr, address: int) -> int | None:
+    """Absolute address referenced by a control/pool instruction."""
+    if instr.op in _PCREL:
+        return address + instr.imm
+    if instr.op in _ABS:
+        return instr.imm
+    if instr.op == Op.LDC:
+        return (address & ~3) + instr.imm
+    return None
 
 
 def disassemble(exe: Executable, *, start: int | None = None,
-                count: int | None = None) -> list[tuple[int, str]]:
-    """Disassemble the text segment; returns (address, text) pairs."""
+                count: int | None = None,
+                symbols: dict[str, int] | None = None,
+                ) -> list[tuple[int, str]]:
+    """Disassemble the text segment; returns (address, text) pairs.
+
+    ``symbols`` supplements the executable's (globals-only) symbol
+    table with extra name -> address pairs, e.g. the local labels from
+    the object file.
+    """
     isa = get_isa(exe.isa_name)
-    rev_symbols = {}
-    for name, addr in exe.symbols.items():
+    symtab = dict(exe.symbols)
+    if symbols:
+        symtab.update(symbols)
+    rev_symbols: dict[int, str] = {}
+    for name, addr in sorted(symtab.items()):
         rev_symbols.setdefault(addr, name)
     out: list[tuple[int, str]] = []
     address = start if start is not None else exe.text_base
@@ -24,6 +77,10 @@ def disassemble(exe: Executable, *, start: int | None = None,
         try:
             instr = isa.decode_bytes(exe.text, offset)
             text = str(instr)
+            target = _target_of(instr, address)
+            if target is not None:
+                name = rev_symbols.get(target)
+                text += f"\t; {target:#x}" + (f" <{name}>" if name else "")
         except DecodingError:
             word = int.from_bytes(
                 exe.text[offset:offset + isa.width_bytes], "little")
@@ -38,7 +95,12 @@ def disassemble(exe: Executable, *, start: int | None = None,
 
 
 def format_listing(exe: Executable, **kwargs) -> str:
-    """Human-readable disassembly listing."""
-    lines = [f"{addr:#010x}  {text}"
-             for addr, text in disassemble(exe, **kwargs)]
+    """Human-readable disassembly listing with raw instruction words."""
+    isa = get_isa(exe.isa_name)
+    lines = []
+    for addr, text in disassemble(exe, **kwargs):
+        offset = addr - exe.text_base
+        word = int.from_bytes(exe.text[offset:offset + isa.width_bytes],
+                              "little")
+        lines.append(f"{addr:#010x}  {word:0{isa.width_bytes * 2}x}  {text}")
     return "\n".join(lines)

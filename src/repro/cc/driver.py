@@ -48,15 +48,21 @@ class CompileResult:
 def compile_to_assembly(source: str, target: TargetSpec | str, *,
                         opt_level: int = 2,
                         include_runtime: bool = True,
-                        schedule: bool = True) -> str:
-    """Compile minic source to an assembly listing."""
+                        schedule: bool = True,
+                        verify_ir: bool = False) -> str:
+    """Compile minic source to an assembly listing.
+
+    ``verify_ir`` runs the IR verifier between every optimizer pass; a
+    broken invariant raises
+    :class:`~repro.cc.opt.PassVerificationError` naming the pass.
+    """
     if isinstance(target, str):
         target = get_target(target)
     full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
         else source
     program = parse(full_source)
     module = lower_program(program)
-    optimize_module(module, level=opt_level)
+    optimize_module(module, level=opt_level, verify=verify_ir)
     return generate_assembly(module, target,
                              schedule=schedule and opt_level >= 1)
 
@@ -64,13 +70,15 @@ def compile_to_assembly(source: str, target: TargetSpec | str, *,
 def build_executable(source: str, target: TargetSpec | str, *,
                      opt_level: int = 2,
                      include_runtime: bool = True,
-                     schedule: bool = True) -> CompileResult:
+                     schedule: bool = True,
+                     verify_ir: bool = False) -> CompileResult:
     """Compile, assemble and link a minic program."""
     if isinstance(target, str):
         target = get_target(target)
     assembly = compile_to_assembly(source, target, opt_level=opt_level,
                                    include_runtime=include_runtime,
-                                   schedule=schedule)
+                                   schedule=schedule,
+                                   verify_ir=verify_ir)
     obj = assemble(assembly, target.isa)
     executable = link([obj])
     return CompileResult(target=target, assembly=assembly,
@@ -82,12 +90,14 @@ def compile_and_run(source: str, target: TargetSpec | str, *,
                     include_runtime: bool = True,
                     max_instructions: int = 2_000_000_000,
                     trace_instructions: bool = False,
-                    trace_data: bool = False):
+                    trace_data: bool = False,
+                    verify_ir: bool = False):
     """Compile and execute; returns (stats, machine, result)."""
     from ..machine import run_executable
 
     result = build_executable(source, target, opt_level=opt_level,
-                              include_runtime=include_runtime)
+                              include_runtime=include_runtime,
+                              verify_ir=verify_ir)
     stats, machine = run_executable(
         result.executable, stdin=stdin,
         max_instructions=max_instructions,

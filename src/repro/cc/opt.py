@@ -650,27 +650,79 @@ def _insert_preheader(func: Function, header: str, body: set[str],
         pass  # insert(0) already made it the entry
 
 
-def optimize(func: Function, *, level: int = 2) -> None:
-    """Run the optimization pipeline to a fixed point (bounded)."""
+class PassVerificationError(Exception):
+    """An optimizer pass left the IR in an invalid state.
+
+    Raised by :func:`optimize` under ``verify=True``; names the exact
+    pass after which the IR verifier first reported errors, so a
+    miscompile is localized to one transformation.
+    """
+
+    def __init__(self, func_name: str, pass_name: str, findings):
+        self.func_name = func_name
+        self.pass_name = pass_name
+        self.findings = list(findings)
+        detail = "\n".join(f.format() for f in self.findings)
+        super().__init__(
+            f"IR verification failed after '{pass_name}' on function "
+            f"'{func_name}':\n{detail}")
+
+
+#: The pass pipeline, named so ``verify`` failures localize precisely.
+_PIPELINE_O1 = (
+    ("copy-propagation", copy_propagation),
+    ("fold-constants", fold_constants),
+    ("fold-offsets", fold_offsets),
+    ("local-cse", local_cse),
+    ("copy-propagation", copy_propagation),
+    ("dead-code", dead_code),
+    ("simplify-cfg", simplify_cfg),
+)
+_PIPELINE_O2 = (
+    ("licm", licm),
+    ("dedupe-single-defs", dedupe_single_defs),
+    ("dead-code", dead_code),
+)
+
+
+def _verify_after(func: Function, pass_name: str) -> None:
+    from ..analysis.findings import Severity
+    from ..analysis.irverify import verify_function
+
+    errors = [f for f in verify_function(func)
+              if f.severity == Severity.ERROR]
+    if errors:
+        raise PassVerificationError(func.name, pass_name, errors)
+
+
+def optimize(func: Function, *, level: int = 2,
+             verify: bool = False) -> None:
+    """Run the optimization pipeline to a fixed point (bounded).
+
+    With ``verify=True`` the IR verifier runs on the input and after
+    every pass; the first broken invariant raises
+    :class:`PassVerificationError` naming the offending pass.
+    """
+    if verify:
+        _verify_after(func, "initial IR")
     if level <= 0:
         return
     for _round in range(4 if level >= 2 else 1):
         changed = False
-        changed |= copy_propagation(func)
-        changed |= fold_constants(func)
-        changed |= fold_offsets(func)
-        changed |= local_cse(func)
-        changed |= copy_propagation(func)
-        changed |= dead_code(func)
-        changed |= simplify_cfg(func)
+        for name, pass_fn in _PIPELINE_O1:
+            changed |= pass_fn(func)
+            if verify:
+                _verify_after(func, name)
         if level >= 2:
-            changed |= licm(func)
-            changed |= dedupe_single_defs(func)
-            changed |= dead_code(func)
+            for name, pass_fn in _PIPELINE_O2:
+                changed |= pass_fn(func)
+                if verify:
+                    _verify_after(func, name)
         if not changed:
             break
 
 
-def optimize_module(module, *, level: int = 2) -> None:
+def optimize_module(module, *, level: int = 2,
+                    verify: bool = False) -> None:
     for func in module.functions:
-        optimize(func, level=level)
+        optimize(func, level=level, verify=verify)

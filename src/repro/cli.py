@@ -5,6 +5,7 @@ Commands:
 * ``compile``  — minic source to assembly listing
 * ``run``      — compile and execute, with optional statistics
 * ``disasm``   — compile and disassemble the linked image
+* ``lint``     — static analysis of a program or the benchmark suite
 * ``bench``    — run benchmark programs on several targets, one table
 * ``targets``  — list compiler configurations
 * ``cache``    — inspect or clear the persistent artifact cache
@@ -36,7 +37,8 @@ def _read_source(path: str) -> str:
 def cmd_compile(args) -> int:
     assembly = compile_to_assembly(_read_source(args.file), args.target,
                                    include_runtime=not args.no_runtime,
-                                   opt_level=args.opt)
+                                   opt_level=args.opt,
+                                   verify_ir=args.verify_ir)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(assembly)
@@ -48,7 +50,8 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     result = build_executable(_read_source(args.file), args.target,
                               include_runtime=not args.no_runtime,
-                              opt_level=args.opt)
+                              opt_level=args.opt,
+                              verify_ir=args.verify_ir)
     stdin = b""
     if args.stdin:
         with open(args.stdin, "rb") as handle:
@@ -82,6 +85,53 @@ def cmd_disasm(args) -> int:
                               opt_level=args.opt)
     print(format_listing(result.executable, count=args.count))
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis import (LintReport, lint_program, render_json,
+                           render_text, summarize)
+
+    import os
+
+    # ``repro lint prog.mc`` lints a source file; a bare word that is
+    # not a file is a benchmark name (suite mode).
+    file, names = args.file, list(args.names)
+    if file and file != "-" and not os.path.exists(file):
+        names.insert(0, file)
+        file = None
+    if file:
+        findings = lint_program(_read_source(file), args.target,
+                                opt_level=args.opt,
+                                include_runtime=not args.no_runtime)
+        reports = [LintReport(program=file, target=args.target,
+                              findings=findings)]
+    else:
+        from .analysis import lint_suite
+
+        targets = args.targets.split(",")
+        reports = lint_suite(targets, names or None, opt_level=args.opt)
+
+    all_findings = [f for r in reports for f in r.findings]
+    if args.json:
+        print(render_json(
+            all_findings,
+            programs=sorted({r.program for r in reports}),
+            targets=sorted({r.target for r in reports})))
+    else:
+        for report in reports:
+            if report.findings:
+                print(f"--- {report.program} [{report.target}]")
+                print(render_text(report.findings))
+        if args.stats or not all_findings:
+            stats = summarize(all_findings)
+            by_sev = stats["by_severity"]
+            rules = ", ".join(f"{rule}:{count}" for rule, count
+                              in stats["by_rule"].items()) or "none"
+            print(f"lint: {len(reports)} program/target cells, "
+                  f"{stats['total']} findings "
+                  f"({by_sev.get('error', 0)} errors, "
+                  f"{by_sev.get('warning', 0)} warnings); rules: {rules}")
+    return 1 if any(not r.ok for r in reports) else 0
 
 
 def cmd_bench(args) -> int:
@@ -142,6 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument("--no-runtime", action="store_true")
     p.add_argument("-O", "--opt", type=int, default=2)
+    p.add_argument("--verify-ir", action="store_true",
+                   help="run the IR verifier between optimizer passes")
     _add_target(p)
     p.set_defaults(fn=cmd_compile)
 
@@ -152,6 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stdin", help="file supplying simulated stdin")
     p.add_argument("--no-runtime", action="store_true")
     p.add_argument("-O", "--opt", type=int, default=2)
+    p.add_argument("--verify-ir", action="store_true",
+                   help="run the IR verifier between optimizer passes")
     _add_target(p)
     p.set_defaults(fn=cmd_run)
 
@@ -162,6 +216,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-O", "--opt", type=int, default=2)
     _add_target(p)
     p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser(
+        "lint", help="static analysis (IR, encoding, binary, call conv)")
+    p.add_argument("file", nargs="?",
+                   help="minic source to lint (default: benchmark suite)")
+    p.add_argument("names", nargs="*",
+                   help="benchmark names for suite mode (default: all)")
+    p.add_argument("--targets", default="d16,dlxe",
+                   help="comma-separated targets for suite mode")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON")
+    p.add_argument("--stats", action="store_true",
+                   help="print a summary line (rules, severities, cells)")
+    p.add_argument("--no-runtime", action="store_true")
+    p.add_argument("-O", "--opt", type=int, default=2)
+    _add_target(p)
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bench", help="benchmark table")
     p.add_argument("names", nargs="*",

@@ -71,15 +71,23 @@ class Lab:
     ``REPRO_CACHE_DIR``), ``False`` disables persistence, and an
     :class:`~repro.labcache.ArtifactCache` (or a path) uses that store.
     ``jobs`` is the default process fan-out for :meth:`runs`.
+    ``preflight_lint`` runs the static-analysis suite (``repro lint``)
+    over each (benchmark, target) cell before compiling it and raises
+    :class:`ExperimentError` on lint errors — an opt-in guard for
+    experiment campaigns whose numbers would silently absorb a
+    miscompile.
     """
 
     def __init__(self, *, params: PipelineParams | None = None,
                  verify_output: bool = True,
-                 cache=None, jobs: int = 1):
+                 cache=None, jobs: int = 1,
+                 preflight_lint: bool = False):
         self.params = params or PipelineParams()
         self.verify_output = verify_output
         self.cache: ArtifactCache = resolve_cache(cache)
         self.jobs = max(1, int(jobs))
+        self.preflight_lint = preflight_lint
+        self._linted: set[tuple[str, str]] = set()
         self._runs: dict[tuple[str, str], ProgramRun] = {}
         self._traces: dict[tuple[str, str], TraceRun] = {}
         self._executables: dict[tuple[str, str], object] = {}
@@ -114,11 +122,25 @@ class Lab:
 
     # ------------------------------------------------------------ access
 
+    def _preflight(self, bench: Benchmark, target_name: str) -> None:
+        key = (bench.name, target_name)
+        if not self.preflight_lint or key in self._linted:
+            return
+        from ..analysis import has_errors, lint_program, render_text
+
+        findings = lint_program(bench.source, get_target(target_name))
+        if has_errors(findings):
+            raise ExperimentError(
+                f"{bench.name} on {target_name} failed pre-flight "
+                f"lint:\n{render_text(findings)}")
+        self._linted.add(key)
+
     def executable(self, bench_name: str, target_name: str):
         key = (bench_name, target_name)
         if key not in self._executables:
             bench = get_benchmark(bench_name)
             get_target(target_name)          # validate early
+            self._preflight(bench, target_name)
             cache_key = self._exe_key(bench, target_name)
             exe = self.cache.get(cache_key)
             if exe is None:
@@ -229,7 +251,8 @@ class Lab:
             get_benchmark(name)
             get_target(target)
         work = [(name, target, self.params, self.verify_output,
-                 str(self.cache.root), self.cache.enabled)
+                 str(self.cache.root), self.cache.enabled,
+                 self.preflight_lint)
                 for name, target in cells]
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
             # executor.map preserves submission order: assembly below is
@@ -244,10 +267,11 @@ class Lab:
 
 def _grid_cell_worker(job):
     """Run one (benchmark, target) cell in a worker process."""
-    bench_name, target_name, params, verify, cache_root, cache_enabled = job
+    (bench_name, target_name, params, verify, cache_root, cache_enabled,
+     preflight) = job
     lab = Lab(params=params, verify_output=verify,
               cache=ArtifactCache(cache_root, enabled=cache_enabled),
-              jobs=1)
+              jobs=1, preflight_lint=preflight)
     run = lab.run(bench_name, target_name)
     return (bench_name, target_name, run.stats, run.binary_size,
             run.text_size)

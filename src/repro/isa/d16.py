@@ -247,6 +247,9 @@ def decode(word: int) -> Instr:
             op = _RI_DECODE[code]
             imm = (word >> 4) & 0x1F
             if op == Op.TRAP:
+                if word & 0xF:
+                    raise DecodingError(
+                        f"junk in D16 trap register field: {word:#06x}")
                 return Instr(op, imm=imm)
             rx = word & 0xF
             return Instr(op, rd=rx, rs1=rx, imm=imm)
@@ -299,11 +302,18 @@ def _rr_decode(op: Op, cond: Cond | None, rx: int, ry: int) -> Instr:
     if op in (Op.STH, Op.STB):
         return Instr(op, rs2=rx, rs1=ry, imm=0)
     if op in (Op.J, Op.JL):
+        if ry:
+            raise DecodingError(f"junk in D16 {op.value} ry field: {ry}")
         return Instr(op, rs1=rx)
     if op in (Op.JZ, Op.JNZ):
         return Instr(op, rs1=rx, rs2=ry)
     if op == Op.RDSR:
+        if ry:
+            raise DecodingError(f"junk in D16 rdsr ry field: {ry}")
         return Instr(op, rd=rx)
     if op == Op.NOP:
+        if rx or ry:
+            raise DecodingError(f"junk in D16 nop register fields: "
+                                f"rx={rx} ry={ry}")
         return Instr(op)
     raise DecodingError(f"unhandled RR op {op.value}")

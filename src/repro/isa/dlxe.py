@@ -241,29 +241,50 @@ def decode(word: int) -> Instr:
     if op in (Op.ST, Op.STH, Op.STB):
         return Instr(op, rs2=rd, rs1=rs1, imm=simm)
     if op in (Op.BZ, Op.BNZ):
+        if rd:
+            raise DecodingError(
+                f"junk in DLXe {op.value} rd slot: {word:#010x}")
         return Instr(op, rs1=rs1, imm=simm * 4)
     if op == Op.MVHI:
+        if rs1:
+            raise DecodingError(
+                f"junk in DLXe mvhi rs1 slot: {word:#010x}")
         return Instr(op, rd=rd, imm=imm)
     if op == Op.TRAP:
+        if rs1 or rd:
+            raise DecodingError(
+                f"junk in DLXe trap register slots: {word:#010x}")
         return Instr(op, imm=imm)
     return Instr(op, rd=rd, rs1=rs1, imm=simm)
 
 
 def _r_decode(op: Op, cond, rd: int, rs1: int, rs2: int) -> Instr:
+    def strict(**unused):
+        junk = {name: value for name, value in unused.items() if value}
+        if junk:
+            raise DecodingError(
+                f"junk in DLXe {op.value} unused register slots: {junk}")
+
     if op == Op.CMP:
         return Instr(op, cond=cond, rd=rd, rs1=rs1, rs2=rs2)
     if op in (Op.CMP_SF, Op.CMP_DF):
+        strict(rd=rd)
         return Instr(op, cond=cond, rs1=rs1, rs2=rs2)
     if op in (Op.J, Op.JL):
+        strict(rs2=rs2, rd=rd)
         return Instr(op, rs1=rs1)
     if op in (Op.JZ, Op.JNZ):
+        strict(rd=rd)
         return Instr(op, rs1=rs1, rs2=rs2)
     if op in (Op.NEG_SF, Op.NEG_DF, Op.SI2SF, Op.SI2DF, Op.SF2SI,
               Op.DF2SI, Op.SF2DF, Op.DF2SF, Op.MV_SF, Op.MV_DF,
               Op.MVIF, Op.MVFI):
+        strict(rs2=rs2)
         return Instr(op, rd=rd, rs1=rs1)
     if op == Op.RDSR:
+        strict(rs1=rs1, rs2=rs2)
         return Instr(op, rd=rd)
     if op == Op.NOP:
+        strict(rd=rd, rs1=rs1, rs2=rs2)
         return Instr(op)
     return Instr(op, rd=rd, rs1=rs1, rs2=rs2)

@@ -1,0 +1,136 @@
+"""Property tests for the analysis layer.
+
+Two invariant families:
+
+* **Encoding round-trips** — every valid instruction must survive
+  encode -> decode -> re-encode byte-identically (the foundation of the
+  binary linter's BIN001 rule), checked with random instructions on
+  both ISAs and exhaustively over the entire 16-bit D16 word space.
+* **Mutation detection** — random structural corruptions of a clean IR
+  function (dropped terminators, bogus branch targets, undefined uses,
+  class flips, rogue stack slots) must each produce at least one
+  error-severity finding from the verifier.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, verify_function
+from repro.asm import check_roundtrip
+from repro.cc.ir import (Bin, Block, CJump, Const, Function, Jump, Load,
+                         Ret, StackSlot, Store, VReg)
+from repro.isa import D16, DLXE, Cond, DecodingError
+
+from .strategies import d16_instructions, dlxe_instructions
+
+# ------------------------------------------------------- round-trips
+
+
+@given(d16_instructions())
+def test_d16_instructions_roundtrip(instr):
+    assert check_roundtrip(D16, instr) is None
+
+
+@given(dlxe_instructions())
+def test_dlxe_instructions_roundtrip(instr):
+    assert check_roundtrip(DLXE, instr) is None
+
+
+def test_d16_exhaustive_decode_reencode():
+    """Every decodable 16-bit word re-encodes to itself.
+
+    The strict decoders reject junk in ignored fields, so decode is a
+    partial inverse of encode over the *entire* word space — checked
+    here exhaustively rather than by sampling.
+    """
+    bad = []
+    for word in range(1 << 16):
+        try:
+            instr = D16.decode(word)
+        except DecodingError:
+            continue
+        if D16.encode(instr) != word:
+            bad.append(word)
+    assert bad == [], f"{len(bad)} words break the round-trip: " \
+                      f"{[hex(w) for w in bad[:10]]}"
+
+
+@given(st.integers(0, (1 << 32) - 1))
+@settings(max_examples=500)
+def test_dlxe_decodable_words_reencode(word):
+    try:
+        instr = DLXE.decode(word)
+    except DecodingError:
+        return
+    assert DLXE.encode(instr) == word, \
+        f"{word:#010x} -> '{instr}' -> {DLXE.encode(instr):#010x}"
+
+
+# -------------------------------------------------- mutation detection
+
+
+def _vi(n: int) -> VReg:
+    return VReg(n, "i")
+
+
+def _clean_function() -> Function:
+    func = Function(name="f", params=[_vi(0)], return_cls="i",
+                    next_vreg=4)
+    slot = func.new_slot(4, 4, "x")
+    func.blocks = [
+        Block("entry", [Const(_vi(1), 1), Store(slot, _vi(0), 4),
+                        Jump("loop")]),
+        Block("loop", [Bin("sub", _vi(0), _vi(0), _vi(1)),
+                       CJump(Cond.NE, _vi(0), None, "loop", "exit")]),
+        Block("exit", [Load(_vi(2), slot, 4), Bin("add", _vi(3), _vi(2),
+                                                  _vi(1)),
+                       Ret(_vi(3))]),
+    ]
+    return func
+
+
+def _drop_terminator(func, block):
+    block.instrs.pop()
+
+
+def _bogus_target(func, block):
+    block.instrs[-1] = Jump("no-such-block")
+
+
+def _undefined_use(func, block):
+    ghost = _vi(90)
+    block.instrs.insert(len(block.instrs) - 1,
+                        Bin("add", _vi(91), ghost, ghost))
+
+
+def _class_flip(func, block):
+    block.instrs.insert(len(block.instrs) - 1,
+                        Const(VReg(0, "f"), 0))
+
+
+def _rogue_slot(func, block):
+    rogue = StackSlot(id=77, size=4, align=4)
+    block.instrs.insert(len(block.instrs) - 1,
+                        Store(rogue, _vi(1), 4))
+
+
+_MUTATIONS = (_drop_terminator, _bogus_target, _undefined_use,
+              _class_flip, _rogue_slot)
+
+
+def test_mutation_baseline_is_clean():
+    assert verify_function(_clean_function()) == []
+
+
+@given(st.sampled_from(_MUTATIONS), st.integers(0, 2))
+@settings(max_examples=60)
+def test_random_mutations_are_caught(mutate, block_index):
+    """Any single corruption yields at least one error finding."""
+    func = _clean_function()
+    block = func.blocks[block_index]
+    mutate(func, block)
+    findings = verify_function(func)
+    assert any(f.severity == Severity.ERROR for f in findings), \
+        f"{mutate.__name__} on block {block_index} went undetected"
