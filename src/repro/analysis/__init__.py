@@ -1,6 +1,6 @@
-"""Static analysis: IR verifier, binary/assembly linter, lint driver.
+"""Static analysis: IR verifier, linter, abstract interpreter, timing.
 
-Three layers keep the density/path-length experiments honest:
+Five layers keep the density/path-length experiments honest:
 
 * :mod:`~repro.analysis.irverify` — compiler IR invariants (CFG shape,
   def-before-use dataflow, register classes, stack slots), also run
@@ -8,20 +8,48 @@ Three layers keep the density/path-length experiments honest:
 * :mod:`~repro.analysis.binlint` — encoding limits, round-trip
   byte-equality, control-flow targets, unreachable code, and
   calling-convention discipline of linked images;
-* :mod:`~repro.analysis.driver` — orchestration over programs and
-  benchmark suites, feeding ``repro lint``.
+* :mod:`~repro.analysis.absint` — abstract interpretation over the
+  recovered CFG (:mod:`~repro.analysis.cfg`): constant/range/stack
+  analysis behind the ABS rules and the per-function summaries;
+* :mod:`~repro.analysis.timing` — static per-block cycle/stall bounds
+  from the shared pipeline model, cross-validated against the
+  simulator (TIM rules);
+* :mod:`~repro.analysis.xisa` — cross-ISA consistency of the same
+  source compiled for D16 and DLXe (XISA rules);
+
+with :mod:`~repro.analysis.driver` orchestrating them over programs
+and benchmark suites, feeding ``repro lint``.
 """
 
+from .absint import (AnalysisResult, FunctionSummary, Interval, SPRel,
+                     ValueDomain, analyze_executable, resolve_cfg, solve)
 from .binlint import lint_assembly, lint_executable
-from .driver import (DEFAULT_TARGETS, LintReport, lint_program,
-                     lint_suite)
-from .findings import (Finding, RULES, Rule, Severity, finding,
-                       has_errors, render_json, render_text, summarize)
+from .cfg import BasicBlock, BinaryCFG, build_cfg
+from .driver import (DEFAULT_TARGETS, EXIT_ERRORS, EXIT_INTERNAL,
+                     EXIT_OK, LintReport, cross_isa_suite, exit_code,
+                     lint_program, lint_suite, timing_program,
+                     timing_suite)
+from .findings import (Finding, RULES, Rule, SCHEMA_VERSION, Severity,
+                       finding, has_errors, render_json, render_text,
+                       rule_doc_url, summarize)
 from .irverify import verify_function, verify_module
+from .timing import (BlockBounds, StaticBounds, TimingValidation,
+                     block_stall_bounds, check_timing, static_bounds,
+                     validate_run)
+from .xisa import (CrossIsaReport, analyze_source, check_cross_isa,
+                   compare_analyses)
 
 __all__ = [
-    "DEFAULT_TARGETS", "Finding", "LintReport", "RULES", "Rule",
-    "Severity", "finding", "has_errors", "lint_assembly",
-    "lint_executable", "lint_program", "lint_suite", "render_json",
-    "render_text", "summarize", "verify_function", "verify_module",
+    "AnalysisResult", "BasicBlock", "BinaryCFG", "BlockBounds",
+    "CrossIsaReport", "DEFAULT_TARGETS", "EXIT_ERRORS", "EXIT_INTERNAL",
+    "EXIT_OK", "Finding", "FunctionSummary", "Interval", "LintReport",
+    "RULES", "Rule", "SCHEMA_VERSION", "SPRel", "Severity",
+    "StaticBounds", "TimingValidation", "ValueDomain",
+    "analyze_executable", "analyze_source", "block_stall_bounds",
+    "build_cfg", "check_cross_isa", "check_timing", "compare_analyses",
+    "cross_isa_suite", "exit_code", "finding", "has_errors",
+    "lint_assembly", "lint_executable", "lint_program", "lint_suite",
+    "render_json", "render_text", "resolve_cfg", "rule_doc_url",
+    "solve", "static_bounds", "summarize", "timing_program",
+    "timing_suite", "validate_run", "verify_function", "verify_module",
 ]

@@ -6,17 +6,19 @@ Two entry points:
   assembly listing against the target ISA (``supports``), reporting
   each violation as an ENC001 finding instead of stopping at the first
   assembler error.
-* :func:`lint_executable` walks a linked image: a static reachability
-  sweep from the entry point and every function label classifies text
-  words as code or (D16) literal-pool data, then checks that every
-  reachable word decodes (BIN002) and re-encodes byte-identically
-  (BIN001), that static control-flow targets stay inside the text
-  segment (BIN003) and never land in pool data (BIN004), and warns
-  about decodable-but-unreached words (BIN005).  With a
-  :class:`~repro.cc.target.TargetSpec` it additionally lints the
-  calling convention: a callee-saved register written inside a
-  function with no matching spill-store to the frame is CC001, and a
-  function that makes calls without saving the link register is CC002.
+* :func:`lint_executable` walks a linked image via the shared
+  control-flow recovery of :mod:`repro.analysis.cfg`: a static
+  reachability sweep from the entry point and every function label
+  classifies text words as code or (D16) literal-pool data, then the
+  linter checks that every reachable word decodes (BIN002) and
+  re-encodes byte-identically (BIN001), that static control-flow
+  targets stay inside the text segment (BIN003) and never land in pool
+  data (BIN004), and warns about decodable-but-unreached words
+  (BIN005).  With a :class:`~repro.cc.target.TargetSpec` it
+  additionally lints the calling convention: a callee-saved register
+  written inside a function with no matching spill-store to the frame
+  is CC001, and a function that makes calls without saving the link
+  register is CC002.
 
 The calling-convention check is evidence-based: a store of the
 register to a stack-pointer- or assembler-temporary-based address
@@ -27,18 +29,11 @@ when a function stores the register for unrelated reasons.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-
 from ..asm.assembler import AsmError, Assembler
 from ..asm.objfile import Executable
 from ..isa import DecodingError, IsaSpec, OP_INFO, Op
+from .cfg import BinaryCFG, CALL_OPS, build_cfg
 from .findings import Finding, finding
-
-_STATIC_BRANCHES = (Op.BR, Op.BZ, Op.BNZ)
-_STATIC_JUMPS = (Op.JD, Op.JLD)
-_CALLS = (Op.JL, Op.JLD)
-#: Ops after which execution cannot fall through.
-_NO_FALLTHROUGH = (Op.BR, Op.J, Op.JD)
 
 _REG_LINK = 1
 _SAVE_BASES = (9, 15)     # assembler temporary (AT), stack pointer
@@ -66,48 +61,26 @@ def lint_assembly(source: str, isa: IsaSpec) -> list[Finding]:
 
 def lint_executable(exe: Executable, isa: IsaSpec, *,
                     symbols: dict[str, int] | None = None,
-                    target=None) -> list[Finding]:
+                    target=None,
+                    cfg: BinaryCFG | None = None) -> list[Finding]:
     """Lint a linked image; see the module docstring for the rules.
 
     ``symbols`` maps label names to absolute text addresses (the
     executable's own table only retains globals; the lint driver passes
     the full label map from the object file).  Non-dot text symbols
     are treated as function starts: reachability roots and
-    calling-convention extents.
+    calling-convention extents.  A pre-built ``cfg`` (from
+    :func:`repro.analysis.cfg.build_cfg`) is reused instead of
+    re-walking the image.
     """
-    symbols = dict(symbols if symbols is not None else exe.symbols)
-    base, text = exe.text_base, bytes(exe.text)
-    end = base + len(text)
-    width = isa.width_bytes
-    funcs = sorted((addr, name) for name, addr in symbols.items()
-                   if not name.startswith(".") and base <= addr < end)
-    describe = _locator(symbols, base, end)
+    if cfg is None:
+        cfg = build_cfg(exe, isa, symbols=symbols)
+    base, end, width = cfg.base, cfg.end, cfg.width
+    describe = cfg.describe
 
     out: list[Finding] = []
-    decoded: dict[int, object] = {}
-
-    def instr_at(addr):
-        if addr in decoded:
-            return decoded[addr]
-        word = int.from_bytes(text[addr - base:addr - base + width],
-                              "little")
-        try:
-            result = (word, isa.decode(word))
-        except DecodingError as exc:
-            result = (word, exc)
-        decoded[addr] = result
-        return result
-
-    visited: set[int] = set()
-    pool: set[int] = set()       # byte addresses occupied by pool data
-    targets: list[tuple[int, int]] = []     # (branch addr, target addr)
-    stack = [exe.entry] + [addr for addr, _name in funcs]
-    while stack:
-        pc = stack.pop()
-        if pc in visited or not base <= pc < end:
-            continue
-        visited.add(pc)
-        word, instr = instr_at(pc)
+    for pc in sorted(cfg.visited):
+        word, instr = cfg.instr_at(pc)
         if isinstance(instr, DecodingError):
             out.append(finding(
                 "BIN002", describe(pc),
@@ -119,54 +92,38 @@ def lint_executable(exe: Executable, isa: IsaSpec, *,
                 "BIN001", describe(pc),
                 f"{word:#0{2 + width * 2}x} decodes to '{instr}' which "
                 f"re-encodes to {isa.encode(instr):#x}"))
-        op = instr.op
-        if op == Op.LDC:
-            addr = (pc & ~3) + instr.imm
-            if not base <= addr < end:
-                out.append(finding(
-                    "BIN003", describe(pc),
-                    f"'{instr}' pool reference {addr:#x} is outside "
-                    f"the text segment"))
-            else:
-                pool.update(range(addr, addr + 4))
-        elif op in _STATIC_BRANCHES or op in _STATIC_JUMPS:
-            tgt = instr.imm if op in _STATIC_JUMPS else pc + instr.imm
-            targets.append((pc, tgt))
-            if not base <= tgt < end:
-                out.append(finding(
-                    "BIN003", describe(pc),
-                    f"'{instr}' targets {tgt:#x}, outside the text "
-                    f"segment [{base:#x}, {end:#x})"))
-            else:
-                stack.append(tgt)
-        if op == Op.TRAP and instr.imm == 0:
-            continue                         # trap 0 halts the machine
-        if op not in _NO_FALLTHROUGH:
-            stack.append(pc + width)
 
-    for pc, tgt in targets:
-        if tgt in pool:
-            _word, instr = instr_at(pc)
+    for pc, addr in cfg.ldc_refs:
+        if not base <= addr < end:
+            _word, instr = cfg.instr_at(pc)
+            out.append(finding(
+                "BIN003", describe(pc),
+                f"'{instr}' pool reference {addr:#x} is outside "
+                f"the text segment"))
+    for pc, tgt in cfg.branch_targets:
+        _word, instr = cfg.instr_at(pc)
+        if not base <= tgt < end:
+            out.append(finding(
+                "BIN003", describe(pc),
+                f"'{instr}' targets {tgt:#x}, outside the text "
+                f"segment [{base:#x}, {end:#x})"))
+        elif tgt in cfg.pool:
             out.append(finding(
                 "BIN004", describe(pc),
                 f"'{instr}' targets {tgt:#x} ({describe(tgt)}), which "
                 f"is literal-pool data"))
-    executed_pool = sorted(addr for addr in visited if addr in pool)
-    for addr in executed_pool:
+    for addr in sorted(cfg.visited & cfg.pool):
         out.append(finding(
             "BIN004", describe(addr),
             "literal-pool data is reachable as code"))
 
-    out.extend(_unreachable_runs(base, end, width, visited, pool,
-                                 instr_at, describe))
+    out.extend(_unreachable_runs(cfg))
     if target is not None:
-        out.extend(_lint_calling_convention(funcs, end, width, visited,
-                                            instr_at, target, describe))
+        out.extend(_lint_calling_convention(cfg, target))
     return out
 
 
-def _unreachable_runs(base, end, width, visited, pool, instr_at,
-                      describe):
+def _unreachable_runs(cfg: BinaryCFG):
     """BIN005 warnings, merged into contiguous address runs.
 
     Only decodable words count: pool slack, alignment padding, and
@@ -175,44 +132,43 @@ def _unreachable_runs(base, end, width, visited, pool, instr_at,
     """
     run_start = None
     count = 0
-    for pc in range(base, end, width):
-        dead = pc not in visited and pc not in pool \
-            and not isinstance(instr_at(pc)[1], DecodingError)
+    for pc in range(cfg.base, cfg.end, cfg.width):
+        dead = pc not in cfg.visited and pc not in cfg.pool \
+            and not isinstance(cfg.instr_at(pc)[1], DecodingError)
         if dead and run_start is None:
             run_start, count = pc, 1
         elif dead:
             count += 1
         elif run_start is not None:
             yield finding(
-                "BIN005", describe(run_start),
+                "BIN005", cfg.describe(run_start),
                 f"{count} decodable instruction(s) at "
-                f"[{run_start:#x}, {run_start + count * width:#x}) are "
-                f"unreachable from the entry point and every function")
+                f"[{run_start:#x}, {run_start + count * cfg.width:#x}) "
+                f"are unreachable from the entry point and every "
+                f"function")
             run_start = None
     if run_start is not None:
         yield finding(
-            "BIN005", describe(run_start),
+            "BIN005", cfg.describe(run_start),
             f"{count} decodable instruction(s) at "
-            f"[{run_start:#x}, {end:#x}) are unreachable from the "
+            f"[{run_start:#x}, {cfg.end:#x}) are unreachable from the "
             f"entry point and every function")
 
 
-def _lint_calling_convention(funcs, text_end, width, visited, instr_at,
-                             target, describe):
+def _lint_calling_convention(cfg: BinaryCFG, target):
     """CC001/CC002 over each function's visited instructions."""
-    for index, (start, name) in enumerate(funcs):
-        span_end = funcs[index + 1][0] if index + 1 < len(funcs) \
-            else text_end
+    for start, name in cfg.funcs:
+        _start, span_end = cfg.func_span(start)
         int_writes: dict[int, int] = {}     # reg -> first write address
         fp_writes: dict[int, int] = {}      # even pair -> first write
         saved: set[int] = set()
         saved_pairs: set[int] = set()
         link_saved = False
         calls: list[int] = []
-        for pc in range(start, span_end, width):
-            if pc not in visited:
+        for pc in range(start, span_end, cfg.width):
+            if pc not in cfg.visited:
                 continue
-            _word, instr = instr_at(pc)
+            _word, instr = cfg.instr_at(pc)
             if isinstance(instr, DecodingError):
                 continue
             info = OP_INFO[instr.op]
@@ -222,7 +178,7 @@ def _lint_calling_convention(funcs, text_end, width, visited, instr_at,
                     link_saved = True
             if instr.op == Op.MVFI:
                 saved_pairs.add(instr.rs1 & ~1)
-            if instr.op in _CALLS:
+            if instr.op in CALL_OPS:
                 calls.append(pc)
             for field in info.writes:
                 reg = getattr(instr, field)
@@ -237,35 +193,17 @@ def _lint_calling_convention(funcs, text_end, width, visited, instr_at,
         for reg, pc in sorted(int_writes.items()):
             if reg not in saved:
                 yield finding(
-                    "CC001", describe(pc),
+                    "CC001", cfg.describe(pc),
                     f"callee-saved r{reg} written in {name} with no "
                     f"spill to the frame")
         for pair, pc in sorted(fp_writes.items()):
             if pair not in saved_pairs:
                 yield finding(
-                    "CC001", describe(pc),
+                    "CC001", cfg.describe(pc),
                     f"callee-saved f{pair} pair written in {name} with "
                     f"no save to the frame")
         if calls and not link_saved and name != "_start":
             yield finding(
-                "CC002", describe(calls[0]),
+                "CC002", cfg.describe(calls[0]),
                 f"{name} makes calls but never saves the link "
                 f"register r{_REG_LINK}")
-
-
-def _locator(symbols, base, end):
-    """address -> ``text:0xADDR (name+off)`` describer."""
-    marks = sorted((addr, name) for name, addr in symbols.items()
-                   if base <= addr <= end)
-    addrs = [addr for addr, _name in marks]
-
-    def describe(addr: int) -> str:
-        index = bisect_right(addrs, addr) - 1
-        if index < 0:
-            return f"text:{addr:#x}"
-        mark_addr, name = marks[index]
-        offset = addr - mark_addr
-        suffix = f"+{offset:#x}" if offset else ""
-        return f"text:{addr:#x} ({name}{suffix})"
-
-    return describe

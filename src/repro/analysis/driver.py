@@ -2,9 +2,19 @@
 
 :func:`lint_program` takes one minic source through the full pipeline —
 IR verification between optimizer passes, assembly-level encoding
-checks, and binary-level lint of the linked image — and returns the
-accumulated findings.  :func:`lint_suite` fans that out over benchmark
-programs and targets, producing one :class:`LintReport` per cell.
+checks, binary-level lint, and abstract interpretation of the linked
+image — and returns the accumulated findings.  :func:`lint_suite` fans
+that out over benchmark programs and targets, producing one
+:class:`LintReport` per cell.  :func:`timing_suite` and
+:func:`cross_isa_suite` run the semantic modes behind
+``repro lint --timing`` / ``--cross-isa``: static cycle-bound
+cross-validation against the simulator, and D16-vs-DLXe consistency
+checking.
+
+Exit-code semantics (:func:`exit_code`): ``0`` when every finding is a
+warning or less, ``1`` when any error-severity finding exists, ``2``
+when the analysis itself failed (unparsable source, internal crash) —
+so CI can distinguish "the program is bad" from "the linter is broken".
 """
 
 from __future__ import annotations
@@ -20,12 +30,31 @@ from ..cc.irgen import lower_program
 from ..cc.opt import PassVerificationError, optimize_module
 from ..cc.parser import parse
 from ..cc.runtime import RUNTIME_SOURCE
+from .absint import analyze_executable
 from .binlint import lint_assembly, lint_executable
+from .cfg import build_cfg
 from .findings import Finding, finding, has_errors
 from .irverify import verify_module
+from .timing import (TimingValidation, check_timing, static_bounds,
+                     validate_run)
+from .xisa import check_cross_isa
 
 #: The two headline machines, linted by default.
 DEFAULT_TARGETS = ("d16", "dlxe")
+
+#: Process exit codes for ``repro lint`` (locked by tests).
+EXIT_OK = 0           # no findings, or warnings/info only
+EXIT_ERRORS = 1       # at least one error-severity finding
+EXIT_INTERNAL = 2     # the analysis itself failed
+
+
+def exit_code(reports: Iterable[LintReport]) -> int:
+    """Map lint reports to the process exit code (0/1 — never 2).
+
+    ``EXIT_INTERNAL`` is reserved for exceptions escaping the analysis;
+    callers (the CLI) translate those separately.
+    """
+    return EXIT_ERRORS if any(not r.ok for r in reports) else EXIT_OK
 
 
 @dataclass
@@ -90,8 +119,11 @@ def lint_program(source: str, target: TargetSpec | str, *,
     # offsets translate directly to absolute addresses).
     symbols = {sym.name: exe.text_base + sym.value
                for sym in obj.symbols.values() if sym.section == "text"}
+    cfg = build_cfg(exe, target.isa, symbols=symbols)
     findings.extend(lint_executable(exe, target.isa, symbols=symbols,
-                                    target=target))
+                                    target=target, cfg=cfg))
+    findings.extend(analyze_executable(exe, target.isa, symbols=symbols,
+                                       target=target, cfg=cfg).findings)
     return findings
 
 
@@ -109,4 +141,89 @@ def lint_suite(targets: Iterable[str] = DEFAULT_TARGETS,
                 program=name, target=target_name,
                 findings=lint_program(bench.source, target_name,
                                       opt_level=opt_level)))
+    return reports
+
+
+# ------------------------------------------------------- semantic modes
+
+
+def timing_program(source: str, target: TargetSpec | str, *,
+                   opt_level: int = 2,
+                   include_runtime: bool = True,
+                   params=None) -> TimingValidation:
+    """Compile, simulate, and validate static cycle bounds for one
+    program: the simulator's interlock total must land inside the
+    CFG-aggregated per-block [lower, upper] stall bounds (TIM001 on
+    violation, TIM002 on a coverage gap)."""
+    from ..machine import run_executable
+
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    module = lower_program(parse(full_source))
+    optimize_module(module, level=opt_level)
+    assembly = generate_assembly(module, target, schedule=opt_level >= 1)
+    obj = Assembler(target.isa).assemble(assembly)
+    exe = link([obj])
+    symbols = {sym.name: exe.text_base + sym.value
+               for sym in obj.symbols.values() if sym.section == "text"}
+    stats, _machine = run_executable(exe, params=params)
+    cfg = build_cfg(exe, target.isa, symbols=symbols)
+    return validate_run(static_bounds(cfg, model=params), stats)
+
+
+def timing_suite(targets: Iterable[str] = DEFAULT_TARGETS,
+                 programs: Iterable[str] | None = None, *,
+                 params=None, lab=None,
+                 ) -> tuple[list[LintReport], dict]:
+    """Cross-validate static bounds on the benchmark suite.
+
+    Returns ``(reports, validations)`` where ``validations`` maps
+    ``(program, target)`` to the :class:`TimingValidation` — the
+    tightness numbers feed EXPERIMENTS.md.  Runs ride the Lab's
+    persistent artifact cache, so repeated invocations (CI, docs
+    regeneration) skip simulation.
+    """
+    from ..experiments.runner import Lab
+
+    lab = lab or Lab(params=params)
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    targets = tuple(targets)
+    reports: list[LintReport] = []
+    validations: dict[tuple[str, str], TimingValidation] = {}
+    for name in names:
+        for target_name in targets:
+            exe = lab.executable(name, target_name)
+            run = lab.run(name, target_name)
+            # A Lab executable's symbol table only keeps globals, so the
+            # CFG is recovered with value-analysis feedback (resolving
+            # D16's pool-loaded calls) rather than from labels.
+            validation = check_timing(exe, get_target(target_name).isa,
+                                      run.stats, model=lab.params)
+            validations[(name, target_name)] = validation
+            reports.append(LintReport(program=name, target=target_name,
+                                      findings=validation.findings))
+    return reports, validations
+
+
+def cross_isa_suite(programs: Iterable[str] | None = None, *,
+                    targets: tuple[str, str] = ("d16", "dlxe"),
+                    opt_level: int = 2) -> list[LintReport]:
+    """Cross-ISA consistency check over the benchmark suite.
+
+    One report per program; the report's target column carries both
+    ISA names since each finding is a *pairwise* fact.
+    """
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    pair = "+".join(targets)
+    reports = []
+    for name in names:
+        bench = get_benchmark(name)
+        report = check_cross_isa(bench.source, targets,
+                                 opt_level=opt_level)
+        reports.append(LintReport(program=name, target=pair,
+                                  findings=report.findings))
     return reports

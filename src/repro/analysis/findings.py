@@ -53,7 +53,36 @@ RULES: dict[str, Rule] = {r.id: r for r in (
     Rule("CC001", Severity.ERROR, "callee-saved register clobbered "
                                   "without spill"),
     Rule("CC002", Severity.ERROR, "link register not saved across calls"),
+    # Abstract interpretation (repro.analysis.absint)
+    Rule("ABS001", Severity.ERROR, "stack height mismatch at join "
+                                   "or return"),
+    Rule("ABS002", Severity.ERROR, "memory access provably invalid"),
+    Rule("ABS003", Severity.ERROR, "indirect jump to provably "
+                                   "non-code target"),
+    Rule("ABS004", Severity.WARNING, "conditional branch provably "
+                                     "always or never taken"),
+    # Static cycle bounds (repro.analysis.timing)
+    Rule("TIM001", Severity.ERROR, "simulated cycles outside static "
+                                   "bounds"),
+    Rule("TIM002", Severity.WARNING, "execution profile not covered "
+                                     "by the static CFG"),
+    # Cross-ISA consistency (repro.analysis.xisa)
+    Rule("XISA001", Severity.ERROR, "call-graph shape differs "
+                                    "between ISAs"),
+    Rule("XISA002", Severity.ERROR, "trap/IO sequence differs "
+                                    "between ISAs"),
+    Rule("XISA003", Severity.ERROR, "returned constant differs "
+                                    "between ISAs"),
 )}
+
+#: Version of the JSON report layout produced by :func:`render_json`.
+#: Bump on any backwards-incompatible change to the payload shape.
+SCHEMA_VERSION = 1
+
+
+def rule_doc_url(rule_id: str) -> str:
+    """Stable documentation anchor for a rule id."""
+    return f"docs/linting.md#{rule_id.lower()}"
 
 
 @dataclass(frozen=True)
@@ -105,8 +134,21 @@ def render_text(findings: Iterable[Finding]) -> str:
 
 
 def render_json(findings: Iterable[Finding], **extra) -> str:
+    """Machine-readable report (schema locked by ``SCHEMA_VERSION``).
+
+    Top-level keys: ``schema_version``, ``findings`` (list of finding
+    dicts), ``summary`` (counts), and ``rules`` — catalog metadata
+    (severity, title, documentation URL) for every rule referenced by
+    the findings, so consumers need not hard-code the catalog.
+    """
     findings = list(findings)
-    payload = {"findings": [f.to_dict() for f in findings],
-               "summary": summarize(findings)}
+    rules = {f.rule: {"severity": RULES[f.rule].severity.value,
+                      "title": RULES[f.rule].title,
+                      "doc": rule_doc_url(f.rule)}
+             for f in findings if f.rule in RULES}
+    payload = {"schema_version": SCHEMA_VERSION,
+               "findings": [f.to_dict() for f in findings],
+               "summary": summarize(findings),
+               "rules": dict(sorted(rules.items()))}
     payload.update(extra)
     return json.dumps(payload, indent=2, sort_keys=True)

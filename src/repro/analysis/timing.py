@@ -1,0 +1,246 @@
+"""Static cycle/stall bounds over the binary CFG.
+
+For every basic block recovered by :mod:`repro.analysis.cfg` this
+module derives a provable lower and upper bound on the interlock
+stalls one execution of the block can incur, using the *same*
+:class:`~repro.machine.pipeline.PipelineModel` latency table and
+:class:`~repro.machine.pipeline.HazardModel` rules as the simulator —
+the analyzer cannot drift from the machine because they share one
+source of truth.
+
+The bounds exploit two facts about the hazard rules:
+
+* stalls are **monotone** in the block-entry state (every update is a
+  ``max`` or an addition of a non-negative latency), and
+* at any instruction boundary no register can be more than
+  ``PipelineModel.max_result_latency`` cycles from ready, and the math
+  unit no further from free (a result becomes ready at most that many
+  cycles after its writer issues).
+
+So running the hazard model from the all-zero entry state lower-bounds
+the stalls of any real entry state, and running it from the
+everything-busy state (every register and the math unit exactly
+``max_result_latency`` away) upper-bounds them.  Aggregating with the
+simulator's per-site execution counts gives whole-run bounds::
+
+    interlocks  in  [sum(count_b * lo_b),  sum(count_b * hi_b)]
+    cycles      =   IC + interlocks        (zero-wait-state machine)
+
+:func:`validate_run` cross-checks a simulation against the bounds:
+TIM001 (error) if the observed interlocks escape the static interval,
+TIM002 (warning) if the execution profile is not fully covered by the
+static CFG (executed sites outside every block, or counts that are not
+uniform within a block — both impossible for toolchain output, so
+either indicates CFG-recovery breakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.objfile import Executable
+from ..isa import IsaSpec
+from ..machine.pipeline import HazardModel, PipelineModel
+from ..machine.stats import RunStats
+from .cfg import BinaryCFG, build_cfg
+from .findings import Finding, finding
+
+
+def block_stall_bounds(instrs, model: PipelineModel) -> tuple[int, int]:
+    """Provable [lo, hi] interlock stalls for one straight-line run.
+
+    ``instrs`` is a sequence of ``(addr, Instr)`` pairs (a
+    :class:`~repro.analysis.cfg.BasicBlock`'s body) or bare
+    instructions.
+    """
+    lo_model = HazardModel(model)
+    hi_model = HazardModel(model)
+    busy = model.max_result_latency
+    hi_model.ready = [busy] * len(hi_model.ready)
+    hi_model.math_free = busy
+    lo = hi = 0
+    for item in instrs:
+        instr = item[1] if isinstance(item, tuple) else item
+        lo += lo_model.issue(instr)
+        hi += hi_model.issue(instr)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class BlockBounds:
+    """Static timing facts for one basic block."""
+
+    start: int
+    n_instrs: int
+    stall_lo: int
+    stall_hi: int
+
+    @property
+    def cycles_lo(self) -> int:
+        return self.n_instrs + self.stall_lo
+
+    @property
+    def cycles_hi(self) -> int:
+        return self.n_instrs + self.stall_hi
+
+
+@dataclass
+class StaticBounds:
+    """Per-block cycle/stall bounds for one linked image."""
+
+    cfg: BinaryCFG
+    model: PipelineModel
+    blocks: dict[int, BlockBounds]           # block start -> bounds
+
+    def describe(self) -> str:
+        lines = [f"{len(self.blocks)} blocks, "
+                 f"max result latency {self.model.max_result_latency}"]
+        for start in sorted(self.blocks):
+            b = self.blocks[start]
+            lines.append(
+                f"  {self.cfg.describe(start)}: {b.n_instrs} instrs, "
+                f"stalls [{b.stall_lo}, {b.stall_hi}]")
+        return "\n".join(lines)
+
+
+def static_bounds(exe_or_cfg, isa: IsaSpec | None = None, *,
+                  model: PipelineModel | None = None,
+                  symbols: dict[str, int] | None = None) -> StaticBounds:
+    """Compute per-block stall bounds for an image (or pre-built CFG)."""
+    if isinstance(exe_or_cfg, BinaryCFG):
+        cfg = exe_or_cfg
+    else:
+        cfg = build_cfg(exe_or_cfg, isa, symbols=symbols)
+    model = model or PipelineModel()
+    blocks = {}
+    for start, block in cfg.blocks.items():
+        lo, hi = block_stall_bounds(block.instrs, model)
+        blocks[start] = BlockBounds(start=start,
+                                    n_instrs=len(block.instrs),
+                                    stall_lo=lo, stall_hi=hi)
+    return StaticBounds(cfg=cfg, model=model, blocks=blocks)
+
+
+@dataclass
+class TimingValidation:
+    """A simulated run checked against the static bounds."""
+
+    bounds: StaticBounds
+    interlocks_observed: int
+    interlock_lo: int
+    interlock_hi: int
+    instructions: int                        # simulator path length
+    covered_instructions: int                # executions inside CFG blocks
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def cycles_observed(self) -> int:
+        """Zero-wait-state cycles: IC + interlocks."""
+        return self.instructions + self.interlocks_observed
+
+    @property
+    def cycles_lo(self) -> int:
+        return self.instructions + self.interlock_lo
+
+    @property
+    def cycles_hi(self) -> int:
+        return self.instructions + self.interlock_hi
+
+    @property
+    def fully_covered(self) -> bool:
+        return self.covered_instructions == self.instructions
+
+    @property
+    def in_bounds(self) -> bool:
+        return not self.findings or all(
+            f.rule != "TIM001" for f in self.findings)
+
+    @property
+    def tightness(self) -> float:
+        """Bound width relative to the observed cycles (0 = exact)."""
+        if not self.cycles_observed:
+            return 0.0
+        return (self.cycles_hi - self.cycles_lo) / self.cycles_observed
+
+
+def validate_run(bounds: StaticBounds, stats: RunStats) -> TimingValidation:
+    """Check one simulation's interlocks against the static bounds.
+
+    ``stats`` must come from running the same executable the bounds
+    were computed for (the per-site ``exec_counts`` vector is matched
+    against the CFG's blocks positionally).
+    """
+    cfg = bounds.cfg
+    base, width = cfg.base, cfg.width
+    shift = 1 if width == 2 else 2
+    counts = stats.exec_counts
+    describe = cfg.describe
+    findings: list[Finding] = []
+
+    def count_at(addr: int) -> int:
+        index = (addr - base) >> shift
+        return counts[index] if 0 <= index < len(counts) else 0
+
+    lo_total = hi_total = 0
+    covered = 0
+    covered_sites: set[int] = set()
+    for start, bb in sorted(bounds.blocks.items()):
+        block = cfg.blocks[start]
+        block_count = count_at(start)
+        site_counts = {addr: count_at(addr) for addr, _i in block.instrs}
+        covered_sites.update(site_counts)
+        if len(set(site_counts.values())) > 1:
+            findings.append(finding(
+                "TIM002", describe(start),
+                f"execution counts vary inside one basic block "
+                f"({sorted(set(site_counts.values()))}): the static CFG "
+                f"disagrees with the executed control flow"))
+            covered += sum(site_counts.values())
+            continue
+        covered += block_count * bb.n_instrs
+        lo_total += block_count * bb.stall_lo
+        hi_total += block_count * bb.stall_hi
+
+    stray = sum(
+        count for index, count in enumerate(counts)
+        if count and (base + (index << shift)) not in covered_sites)
+    if stray:
+        findings.append(finding(
+            "TIM002", f"text:{base:#x}",
+            f"{stray} executed instruction(s) fall outside every "
+            f"static basic block; bounds cannot cover the full run"))
+
+    observed = stats.interlocks
+    if observed < lo_total:
+        findings.append(finding(
+            "TIM001", f"text:{base:#x}",
+            f"simulated interlocks {observed} fall below the static "
+            f"lower bound {lo_total}"))
+    if not stray and observed > hi_total:
+        findings.append(finding(
+            "TIM001", f"text:{base:#x}",
+            f"simulated interlocks {observed} exceed the static "
+            f"upper bound {hi_total}"))
+    return TimingValidation(
+        bounds=bounds, interlocks_observed=observed,
+        interlock_lo=lo_total, interlock_hi=hi_total,
+        instructions=stats.instructions,
+        covered_instructions=covered, findings=findings)
+
+
+def check_timing(exe: Executable, isa: IsaSpec, stats: RunStats, *,
+                 model: PipelineModel | None = None,
+                 symbols: dict[str, int] | None = None,
+                 cfg: BinaryCFG | None = None) -> TimingValidation:
+    """One-call harness: static bounds + validation for one run.
+
+    Without a pre-built ``cfg`` the control flow is recovered with
+    value-analysis feedback (:func:`~repro.analysis.absint.resolve_cfg`),
+    so D16's pool-loaded indirect calls are followed even when the
+    executable's symbol table lost the function labels.
+    """
+    if cfg is None:
+        from .absint import resolve_cfg
+        cfg, _result = resolve_cfg(exe, isa, symbols=symbols)
+    sb = static_bounds(cfg, model=model)
+    return validate_run(sb, stats)

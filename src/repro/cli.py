@@ -88,8 +88,18 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import (LintReport, lint_program, render_json,
-                           render_text, summarize)
+    from .analysis import EXIT_INTERNAL
+
+    try:
+        return _lint(args)
+    except Exception as exc:  # noqa: BLE001 - exit-code contract
+        print(f"lint: internal failure: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+
+def _lint(args) -> int:
+    from .analysis import (LintReport, exit_code, lint_program,
+                           render_json, render_text, summarize)
 
     import os
 
@@ -99,17 +109,48 @@ def cmd_lint(args) -> int:
     if file and file != "-" and not os.path.exists(file):
         names.insert(0, file)
         file = None
+    timing_validations = None
     if file:
-        findings = lint_program(_read_source(file), args.target,
-                                opt_level=args.opt,
+        source = _read_source(file)
+        reports = []
+        findings = lint_program(source, args.target, opt_level=args.opt,
                                 include_runtime=not args.no_runtime)
-        reports = [LintReport(program=file, target=args.target,
-                              findings=findings)]
+        reports.append(LintReport(program=file, target=args.target,
+                                  findings=findings))
+        if args.timing:
+            from .analysis import timing_program
+
+            validation = timing_program(
+                source, args.target, opt_level=args.opt,
+                include_runtime=not args.no_runtime)
+            timing_validations = {(file, args.target): validation}
+            reports.append(LintReport(program=file, target=args.target,
+                                      findings=validation.findings))
+        if args.cross_isa:
+            from .analysis import check_cross_isa
+
+            xisa = check_cross_isa(source, opt_level=args.opt,
+                                   include_runtime=not args.no_runtime)
+            reports.append(LintReport(program=file,
+                                      target="+".join(xisa.targets),
+                                      findings=xisa.findings))
     else:
-        from .analysis import lint_suite
+        from .analysis import cross_isa_suite, lint_suite, timing_suite
 
         targets = args.targets.split(",")
         reports = lint_suite(targets, names or None, opt_level=args.opt)
+        if args.timing:
+            timing_reports, timing_validations = timing_suite(
+                targets, names or None)
+            reports.extend(timing_reports)
+        if args.cross_isa:
+            if len(targets) != 2:
+                raise ValueError(
+                    f"--cross-isa compares exactly two targets, "
+                    f"got {targets}")
+            reports.extend(cross_isa_suite(
+                names or None, targets=(targets[0], targets[1]),
+                opt_level=args.opt))
 
     all_findings = [f for r in reports for f in r.findings]
     if args.json:
@@ -131,7 +172,15 @@ def cmd_lint(args) -> int:
                   f"{stats['total']} findings "
                   f"({by_sev.get('error', 0)} errors, "
                   f"{by_sev.get('warning', 0)} warnings); rules: {rules}")
-    return 1 if any(not r.ok for r in reports) else 0
+        if args.stats and timing_validations:
+            print("timing: program/target  interlocks  "
+                  "[static lo, static hi]  tightness")
+            for (prog, tname), tv in sorted(timing_validations.items()):
+                print(f"timing: {prog}/{tname}  "
+                      f"{tv.interlocks_observed}  "
+                      f"[{tv.interlock_lo}, {tv.interlock_hi}]  "
+                      f"{tv.tightness:.3f}")
+    return exit_code(reports)
 
 
 def cmd_bench(args) -> int:
@@ -229,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit findings as JSON")
     p.add_argument("--stats", action="store_true",
                    help="print a summary line (rules, severities, cells)")
+    p.add_argument("--timing", action="store_true",
+                   help="cross-validate static cycle bounds against the "
+                        "simulator (TIM rules)")
+    p.add_argument("--cross-isa", action="store_true",
+                   help="compare per-function facts between the two "
+                        "targets (XISA rules)")
     p.add_argument("--no-runtime", action="store_true")
     p.add_argument("-O", "--opt", type=int, default=2)
     _add_target(p)

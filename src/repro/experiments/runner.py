@@ -75,19 +75,25 @@ class Lab:
     over each (benchmark, target) cell before compiling it and raises
     :class:`ExperimentError` on lint errors — an opt-in guard for
     experiment campaigns whose numbers would silently absorb a
-    miscompile.
+    miscompile.  ``validate_timing`` checks every simulated run against
+    the static cycle bounds of :mod:`repro.analysis.timing` and raises
+    when the observed interlocks escape them — a self-check tying the
+    experiment numbers to the machine model.
     """
 
     def __init__(self, *, params: PipelineParams | None = None,
                  verify_output: bool = True,
                  cache=None, jobs: int = 1,
-                 preflight_lint: bool = False):
+                 preflight_lint: bool = False,
+                 validate_timing: bool = False):
         self.params = params or PipelineParams()
         self.verify_output = verify_output
         self.cache: ArtifactCache = resolve_cache(cache)
         self.jobs = max(1, int(jobs))
         self.preflight_lint = preflight_lint
+        self.validate_timing = validate_timing
         self._linted: set[tuple[str, str]] = set()
+        self._timing_checked: set[tuple[str, str]] = set()
         self._runs: dict[tuple[str, str], ProgramRun] = {}
         self._traces: dict[tuple[str, str], TraceRun] = {}
         self._executables: dict[tuple[str, str], object] = {}
@@ -180,8 +186,44 @@ class Lab:
                          stats=payload["stats"],
                          binary_size=payload["binary_size"],
                          text_size=payload["text_size"])
+        self._validate_timing(bench, target_name, run.stats)
         self._runs[key] = run
         return run
+
+    def _validate_timing(self, bench: Benchmark, target_name: str,
+                         stats: RunStats) -> None:
+        key = (bench.name, target_name)
+        if not self.validate_timing or key in self._timing_checked:
+            return
+        from ..analysis import check_timing, render_text
+
+        exe = self.executable(bench.name, target_name)
+        validation = check_timing(exe, get_target(target_name).isa,
+                                  stats, model=self.params)
+        if validation.findings:
+            raise ExperimentError(
+                f"{bench.name} on {target_name} failed the static "
+                f"cycle-bound cross-check:\n"
+                f"{render_text(validation.findings)}")
+        self._timing_checked.add(key)
+
+    def check_consistency(self, bench_name: str,
+                          targets: tuple[str, str] = MAIN_TARGETS):
+        """Cross-ISA consistency check for one benchmark's source.
+
+        Returns the :class:`~repro.analysis.xisa.CrossIsaReport`;
+        raises :class:`ExperimentError` when the two compiled images
+        provably disagree (XISA findings are always errors).
+        """
+        from ..analysis import check_cross_isa, render_text
+
+        bench = get_benchmark(bench_name)
+        report = check_cross_isa(bench.source, targets)
+        if not report.ok:
+            raise ExperimentError(
+                f"{bench_name} is inconsistent across "
+                f"{'/'.join(targets)}:\n{render_text(report.findings)}")
+        return report
 
     def trace(self, bench_name: str, target_name: str) -> TraceRun:
         """Execute with address tracing (memoized; memory-heavy)."""
@@ -252,7 +294,7 @@ class Lab:
             get_target(target)
         work = [(name, target, self.params, self.verify_output,
                  str(self.cache.root), self.cache.enabled,
-                 self.preflight_lint)
+                 self.preflight_lint, self.validate_timing)
                 for name, target in cells]
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
             # executor.map preserves submission order: assembly below is
@@ -268,10 +310,11 @@ class Lab:
 def _grid_cell_worker(job):
     """Run one (benchmark, target) cell in a worker process."""
     (bench_name, target_name, params, verify, cache_root, cache_enabled,
-     preflight) = job
+     preflight, validate_timing) = job
     lab = Lab(params=params, verify_output=verify,
               cache=ArtifactCache(cache_root, enabled=cache_enabled),
-              jobs=1, preflight_lint=preflight)
+              jobs=1, preflight_lint=preflight,
+              validate_timing=validate_timing)
     run = lab.run(bench_name, target_name)
     return (bench_name, target_name, run.stats, run.binary_size,
             run.text_size)

@@ -29,7 +29,7 @@ from ..asm.objfile import Executable
 from ..isa import DecodingError, Instr, Op, OpKind, get_isa
 from ..isa.common import to_s32
 from ..isa.operations import Cond
-from .memory import Memory, MemoryError_
+from .memory import DEFAULT_MEM_SIZE, Memory, MemoryError_
 from .pipeline import PipelineParams, hazard_indices
 from .stats import RunStats
 from .traps import TrapHandler
@@ -132,7 +132,7 @@ class Machine:
     """A loaded program plus architectural state, ready to run."""
 
     def __init__(self, exe: Executable, *, params: PipelineParams | None = None,
-                 stdin: bytes = b"", mem_size: int = 0x0010_0000,
+                 stdin: bytes = b"", mem_size: int = DEFAULT_MEM_SIZE,
                  trace_instructions: bool = False, trace_data: bool = False):
         self.exe = exe
         self.isa = get_isa(exe.isa_name)
@@ -162,8 +162,9 @@ class Machine:
         self.handlers: list = []
         self.reads_l: list[tuple[int, ...]] = []
         self.writes_l: list[tuple[int, ...]] = []
-        self.mlat: list[int] = []
-        self.is_load: list[bool] = []
+        self.mlat: list[int] = []      # math-unit occupancy (0 = not math)
+        self.rlat: list[int] = []      # cycles until results are usable
+        self.wkind: list[int] = []     # 0 = alu, 1 = load, 2 = math
         self.counts = [0] * count
         for idx in range(count):
             try:
@@ -176,16 +177,17 @@ class Machine:
                 self.reads_l.append(())
                 self.writes_l.append(())
                 self.mlat.append(0)
-                self.is_load.append(False)
+                self.rlat.append(1)
+                self.wkind.append(0)
                 continue
             reads, writes = hazard_indices(instr)
             self.reads_l.append(reads)
             self.writes_l.append(writes)
             info = instr.info
-            latency = (self.params.latency_of(info.math_class)
-                       if info.kind == OpKind.MATH else 0)
-            self.mlat.append(latency)
-            self.is_load.append(info.kind == OpKind.LOAD)
+            self.mlat.append(self.params.occupancy(info))
+            self.rlat.append(self.params.result_latency(info))
+            self.wkind.append(2 if info.kind == OpKind.MATH
+                              else 1 if info.kind == OpKind.LOAD else 0)
             self.handlers.append(self._compile(instr))
 
     def _compile(self, instr: Instr):
@@ -517,7 +519,8 @@ class Machine:
         reads_l = self.reads_l
         writes_l = self.writes_l
         mlat = self.mlat
-        is_load = self.is_load
+        rlat = self.rlat
+        wk = self.wkind
         limit = len(handlers)
         itrace = self.itrace
 
@@ -577,17 +580,11 @@ class Machine:
             time = need
             if latency:
                 math_free = time + latency
-                for index in writes_l[idx]:
-                    ready[index] = time + latency
-                    wkind[index] = 2
-            elif is_load[idx]:
-                for index in writes_l[idx]:
-                    ready[index] = time + 2
-                    wkind[index] = 1
-            else:
-                for index in writes_l[idx]:
-                    ready[index] = time + 1
-                    wkind[index] = 0
+            result_at = time + rlat[idx]
+            kind = wk[idx]
+            for index in writes_l[idx]:
+                ready[index] = result_at
+                wkind[index] = kind
 
             try:
                 pc = handler(pc)

@@ -15,10 +15,15 @@ class MemoryError_(Exception):
     """Out-of-range or misaligned memory access."""
 
 
+#: Default simulated memory size, shared with the static analyses (an
+#: access provably outside [0, DEFAULT_MEM_SIZE) faults at run time).
+DEFAULT_MEM_SIZE = 0x0010_0000
+
+
 class Memory:
     """A fixed-size, zero-initialized byte-addressable memory."""
 
-    def __init__(self, size: int = 0x0010_0000):
+    def __init__(self, size: int = DEFAULT_MEM_SIZE):
         self.size = size
         self.data = bytearray(size)
 

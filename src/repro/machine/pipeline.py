@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..isa import Instr, OpKind
+from ..isa import Instr, OpInfo, OpKind
 
 #: Pseudo-register index for the FP status word (set by cmp.sf/cmp.df,
 #: read by rdsr) in the 0..63 general/FP register ready-time vector.
@@ -35,8 +35,21 @@ FP_STATUS_REG = 64
 
 
 @dataclass(frozen=True)
-class PipelineParams:
-    """Latency parameters of the execution pipeline."""
+class PipelineModel:
+    """The introspectable latency table of the execution pipeline.
+
+    One source of truth for every timing rule: the reference
+    :class:`HazardModel`, the inlined fast path in
+    :mod:`repro.machine.cpu`, and the static cycle-bound analyzer in
+    :mod:`repro.analysis.timing` all read their numbers from here, so a
+    latency change propagates to simulator and analyzer together.
+
+    ``result_latency`` is the number of cycles after issue until an
+    instruction's written registers become usable (1 for single-cycle
+    ALU results, ``1 + load_delay`` for loads, the math-class latency
+    for math-unit ops).  ``occupancy`` is how long the non-pipelined
+    math unit stays busy (0 for everything else).
+    """
 
     load_delay: int = 1
     math_latency: dict[str, int] = field(default_factory=lambda: {
@@ -52,6 +65,36 @@ class PipelineParams:
 
     def latency_of(self, math_class: str) -> int:
         return self.math_latency[math_class]
+
+    def result_latency(self, info: OpInfo) -> int:
+        """Cycles after issue until ``info``'s results are usable."""
+        if info.kind == OpKind.MATH:
+            return self.math_latency[info.math_class]
+        if info.kind == OpKind.LOAD:
+            return 1 + self.load_delay
+        return 1
+
+    def occupancy(self, info: OpInfo) -> int:
+        """Cycles the (non-pipelined) math unit is held by ``info``."""
+        if info.kind == OpKind.MATH:
+            return self.math_latency[info.math_class]
+        return 0
+
+    @property
+    def max_result_latency(self) -> int:
+        """The largest result latency any instruction can have.
+
+        At any instruction boundary no register can be more than this
+        many cycles away from ready, and the math unit no more than
+        this many cycles from free — the bound the static timing
+        analyzer uses for its worst-case block-entry state.
+        """
+        return max(max(self.math_latency.values()), 1 + self.load_delay)
+
+
+#: Historical name, kept as an alias: the "params" objects threaded
+#: through Lab / labcache / Machine are exactly the pipeline model.
+PipelineParams = PipelineModel
 
 
 def hazard_indices(instr: Instr) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -76,8 +119,8 @@ def hazard_indices(instr: Instr) -> tuple[tuple[int, ...], tuple[int, ...]]:
 class HazardModel:
     """Reference interlock model: feed retired instructions in order."""
 
-    def __init__(self, params: PipelineParams | None = None):
-        self.params = params or PipelineParams()
+    def __init__(self, params: PipelineModel | None = None):
+        self.params = params or PipelineModel()
         self.ready = [0] * 65          # earliest cycle each value is usable
         self.writer = ["alu"] * 65     # kind of the last writer per register
         self.math_free = 0             # cycle the math unit becomes free
@@ -112,17 +155,11 @@ class HazardModel:
             else:
                 self.load_interlocks += stall
         if is_math:
-            latency = self.params.latency_of(info.math_class)
-            self.math_free = self.time + latency
-            for index in writes:
-                self.ready[index] = self.time + latency
-                self.writer[index] = "math"
-        elif info.kind == OpKind.LOAD:
-            for index in writes:
-                self.ready[index] = self.time + 1 + self.params.load_delay
-                self.writer[index] = "load"
-        else:
-            for index in writes:
-                self.ready[index] = self.time + 1
-                self.writer[index] = "alu"
+            self.math_free = self.time + self.params.occupancy(info)
+        kind = ("math" if is_math
+                else "load" if info.kind == OpKind.LOAD else "alu")
+        result_at = self.time + self.params.result_latency(info)
+        for index in writes:
+            self.ready[index] = result_at
+            self.writer[index] = kind
         return stall

@@ -20,8 +20,8 @@ from repro.analysis import (LintReport, Severity, has_errors,
 from repro.asm import assemble, link
 from repro.asm.objfile import Executable
 from repro.cc import get_target
-from repro.cc.ir import (Bin, Block, CJump, Const, FStore, Function, Jump,
-                         Load, Module, Ret, StackSlot, Store, VReg)
+from repro.cc.ir import (Bin, Block, CJump, Const, FStore, Function,
+                         Jump, Ret, StackSlot, Store, VReg)
 from repro.cc.irgen import lower_program
 from repro.cc.opt import PassVerificationError, optimize_module
 from repro.cc.parser import parse
@@ -422,6 +422,90 @@ class TestLintCli:
         assert payload["findings"] == []
         assert payload["programs"] == ["ackermann"]
         assert sorted(payload["targets"]) == ["d16", "dlxe"]
+
+
+# ------------------------------------- JSON schema + exit-code contract
+
+
+class TestJsonSchema:
+    def test_render_json_schema_lock(self):
+        from repro.analysis import SCHEMA_VERSION, finding, render_json
+
+        payload = json.loads(render_json(
+            [finding("ABS002", "text:0x1000", "seeded error"),
+             finding("ABS004", "text:0x1004", "seeded warning")]))
+        assert SCHEMA_VERSION == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload) >= {"schema_version", "findings", "summary",
+                                "rules"}
+        assert [f["rule"] for f in payload["findings"]] == \
+            ["ABS002", "ABS004"]
+        assert set(payload["findings"][0]) == {"rule", "severity",
+                                               "location", "message"}
+        # Per-rule catalog metadata rides along, so consumers need not
+        # hard-code severities or documentation links.
+        assert payload["rules"]["ABS002"]["severity"] == "error"
+        assert payload["rules"]["ABS002"]["doc"] == \
+            "docs/linting.md#abs002"
+        assert payload["rules"]["ABS002"]["title"]
+        assert payload["rules"]["ABS004"]["severity"] == "warning"
+        assert payload["summary"]["total"] == 2
+
+    def test_render_json_extra_keys_merge(self):
+        from repro.analysis import render_json
+
+        payload = json.loads(render_json([], programs=["p"],
+                                         targets=["d16"]))
+        assert payload["programs"] == ["p"]
+        assert payload["targets"] == ["d16"]
+        assert payload["rules"] == {}
+
+    def test_cli_json_carries_schema_version(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "ackermann", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+
+
+class TestExitCodes:
+    def test_warning_only_reports_exit_zero(self):
+        from repro.analysis import (EXIT_ERRORS, EXIT_OK, finding,
+                                    exit_code)
+
+        warn = LintReport(program="p", target="d16", findings=[
+            finding("ABS004", "text:0x1000", "seeded warning")])
+        err = LintReport(program="p", target="d16", findings=[
+            finding("ABS002", "text:0x1000", "seeded error")])
+        assert exit_code([]) == EXIT_OK == 0
+        assert exit_code([warn]) == EXIT_OK
+        assert exit_code([warn, err]) == EXIT_ERRORS == 1
+
+    def test_internal_failure_exits_two(self, tmp_path, capsys):
+        from repro.analysis import EXIT_INTERNAL
+        from repro.cli import main
+
+        broken = tmp_path / "broken.mc"
+        broken.write_text("int main( {")           # unparsable
+        assert main(["lint", str(broken)]) == EXIT_INTERNAL == 2
+        assert "internal failure" in capsys.readouterr().err
+
+    def test_cli_semantic_modes_file_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "p.mc"
+        src.write_text("int main() { return 4; }")
+        assert main(["lint", str(src), "--timing", "--cross-isa",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "timing:" in out and "0 findings" in out
+
+    def test_cross_isa_suite_needs_two_targets(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "ackermann", "--cross-isa",
+                     "--targets", "d16"]) == 2
+        assert "exactly two" in capsys.readouterr().err
 
 
 # ------------------------------------------------- runner pre-flight

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.asm import AsmError, assemble, link
+from repro.asm import AsmError, assemble
 from repro.asm.objfile import Reloc
 from repro.isa import D16, DLXE, Op
 

@@ -2,8 +2,6 @@
 
 import re
 
-import pytest
-
 from repro.cc import build_executable, compile_to_assembly
 from repro.cc.codegen import PoolManager
 from repro.machine import run_executable

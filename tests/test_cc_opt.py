@@ -1,9 +1,9 @@
 """Optimizer passes, observed through the IR."""
 
 from repro.cc.irgen import lower_program
-from repro.cc.ir import (Bin, CJump, Const, Jump, Load, Move, Store)
-from repro.cc.opt import (copy_propagation, dead_code, dedupe_single_defs,
-                          fold_constants, fold_offsets, licm, local_cse,
+from repro.cc.ir import Bin, CJump, Const, Jump, Load, Store
+from repro.cc.opt import (copy_propagation, dead_code,
+                          fold_constants, local_cse,
                           optimize_module, simplify_cfg)
 from repro.cc.parser import parse
 

@@ -1,7 +1,5 @@
 """Register allocation: assignment validity and spill handling."""
 
-import pytest
-
 from repro.cc import compile_and_run
 from repro.cc.codegen import fold_immediates
 from repro.cc.irgen import lower_program

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.cc import compile_and_run
 
 

@@ -1,12 +1,8 @@
 """Instruction scheduler: dependence preservation and stall reduction."""
 
-import pytest
-
-from repro.cc import compile_and_run
 from repro.cc.ir import (Bin, Block, CallInst, Const, Jump, Load, Move,
                          Store, VReg)
-from repro.cc.schedule import (_sequence_cost, schedule_block,
-                               schedule_function)
+from repro.cc.schedule import _sequence_cost, schedule_block
 from repro.machine.pipeline import PipelineParams
 
 

@@ -8,7 +8,7 @@ small enough for the regular test run.
 import pytest
 
 from repro.experiments import (
-    CACHE_PROGRAMS, Lab, PAPER_TARGETS, format_figure4, format_table5,
+    Lab, format_figure4, format_table5,
     format_table6, format_table8, run_cache_study, run_data_traffic,
     run_density, run_immediates, run_interlocks, run_memperf,
     run_pathlength, run_summary, run_traffic)

@@ -1,6 +1,5 @@
 """Unit tests for shared ISA helpers."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa.common import (fits_signed, fits_unsigned, sign_extend,

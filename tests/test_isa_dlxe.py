@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.isa import DLXE, EncodingError, DecodingError, Instr, Op
+from repro.isa import DLXE, DecodingError, Instr, Op
 from repro.isa.operations import Cond
 from repro.isa import dlxe
 

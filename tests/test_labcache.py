@@ -1,7 +1,6 @@
 """Persistent artifact cache: keys, invalidation, round-trips."""
 
 import dataclasses
-import pickle
 import zlib
 
 import pytest

@@ -1,0 +1,226 @@
+"""Tests for the static cycle/stall bounds (TIM rules).
+
+The load-bearing property: for any program the simulator's interlock
+total must land inside the CFG-aggregated static [lower, upper] bounds.
+Checked three ways — by hand on single hazards, by hypothesis on random
+straight-line programs (where the whole program is one block and the
+lower bound must be *exact*, since simulator and analyzer both start
+from the reset pipeline state), and on real benchmarks through the lab.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (block_stall_bounds, check_timing,
+                            static_bounds, timing_program)
+from repro.cc import get_target
+from repro.isa import DLXE, Instr, Op
+from repro.machine import run_executable
+from repro.machine.pipeline import PipelineModel
+
+from .test_analysis import _raw_exe, _rules
+
+MODEL = PipelineModel()
+
+
+# ------------------------------------------------- single-block bounds
+
+
+class TestBlockBounds:
+    def test_independent_ops_have_zero_lower_bound(self):
+        lo, hi = block_stall_bounds([
+            Instr(op=Op.MVI, rd=3, imm=1),
+            Instr(op=Op.MVI, rd=4, imm=2),
+        ], MODEL)
+        assert lo == 0
+        assert hi >= lo
+
+    def test_load_use_stall(self):
+        lo, hi = block_stall_bounds([
+            Instr(op=Op.LD, rd=3, rs1=15, imm=0),
+            Instr(op=Op.ADD, rd=4, rs1=3, rs2=3),
+        ], MODEL)
+        assert lo == MODEL.load_delay == 1
+        assert hi >= lo
+
+    def test_load_then_independent_op_does_not_stall(self):
+        lo, _hi = block_stall_bounds([
+            Instr(op=Op.LD, rd=3, rs1=15, imm=0),
+            Instr(op=Op.ADD, rd=4, rs1=5, rs2=5),
+        ], MODEL)
+        assert lo == 0
+
+    def test_math_consumer_stall(self):
+        lo, _hi = block_stall_bounds([
+            Instr(op=Op.MUL, rd=3, rs1=4, rs2=5),
+            Instr(op=Op.ADD, rd=6, rs1=3, rs2=3),
+        ], MODEL)
+        assert lo == MODEL.math_latency["imul"] - 1
+
+    def test_upper_bound_assumes_busy_entry_state(self):
+        # A fresh pipeline never stalls a lone load, but a result still
+        # in flight at block entry can delay its issue.
+        lo, hi = block_stall_bounds(
+            [Instr(op=Op.LD, rd=3, rs1=4, imm=0)], MODEL)
+        assert lo == 0
+        assert hi > 0
+
+    def test_accepts_addr_instr_pairs(self):
+        instrs = [Instr(op=Op.LD, rd=3, rs1=15, imm=0),
+                  Instr(op=Op.ADD, rd=4, rs1=3, rs2=3)]
+        paired = [(0x1000 + 4 * i, ins) for i, ins in enumerate(instrs)]
+        assert block_stall_bounds(paired, MODEL) == \
+            block_stall_bounds(instrs, MODEL)
+
+
+# ------------------------------------------ property: bounds bracket
+
+
+_SCRATCH = st.sampled_from(range(4, 10))
+
+
+@st.composite
+def straightline_programs(draw):
+    """Random executable straight-line DLXe programs.
+
+    r3 holds a valid data address (set by the fixed prefix); the body
+    mixes ALU ops, loads, and math-unit ops over scratch registers.
+    """
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=20))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            body.append(Instr(op=Op.MVI, rd=draw(_SCRATCH),
+                              imm=draw(st.integers(-100, 100))))
+        elif kind == 1:
+            body.append(Instr(op=Op.ADD, rd=draw(_SCRATCH),
+                              rs1=draw(_SCRATCH), rs2=draw(_SCRATCH)))
+        elif kind == 2:
+            body.append(Instr(op=Op.LD, rd=draw(_SCRATCH), rs1=3,
+                              imm=draw(st.sampled_from([0, 4, 8]))))
+        else:
+            body.append(Instr(op=Op.MUL, rd=draw(_SCRATCH),
+                              rs1=draw(_SCRATCH), rs2=draw(_SCRATCH)))
+    return body
+
+
+class TestBoundsBracketSimulation:
+    @given(straightline_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_simulated_interlocks_within_static_bounds(self, body):
+        program = ([Instr(op=Op.MVHI, rd=3, imm=1)] + body
+                   + [Instr(op=Op.TRAP, imm=0)])
+        exe = _raw_exe(DLXE, program)
+        stats, _machine = run_executable(exe)
+        lo, hi = block_stall_bounds(program, MODEL)
+        # One straight-line block from reset: the lower bound is exact
+        # (simulator and HazardModel share the PipelineModel rules).
+        assert lo == stats.interlocks
+        assert hi >= stats.interlocks
+        validation = check_timing(exe, DLXE, stats)
+        assert validation.findings == []
+        assert validation.in_bounds and validation.fully_covered
+        assert validation.interlock_lo <= stats.interlocks \
+            <= validation.interlock_hi
+
+
+# -------------------------------------------------- validation rules
+
+
+def _stalling_exe():
+    return _raw_exe(DLXE, [
+        Instr(op=Op.MVHI, rd=3, imm=1),
+        Instr(op=Op.LD, rd=4, rs1=3, imm=0),
+        Instr(op=Op.ADD, rd=5, rs1=4, rs2=4),       # load-use stall
+        Instr(op=Op.TRAP, imm=0),
+    ])
+
+
+class TestValidateRun:
+    def test_clean_run_validates(self):
+        exe = _stalling_exe()
+        stats, _machine = run_executable(exe)
+        validation = check_timing(exe, DLXE, stats)
+        assert validation.findings == []
+        assert validation.interlock_lo >= 1
+        assert validation.cycles_lo <= validation.cycles_observed \
+            <= validation.cycles_hi
+        assert validation.cycles_observed == \
+            stats.instructions + stats.interlocks
+        assert validation.tightness >= 0.0
+
+    def test_observed_above_upper_bound_tim001(self):
+        exe = _stalling_exe()
+        stats, _machine = run_executable(exe)
+        stats.interlocks = 10 ** 6                  # seeded violation
+        validation = check_timing(exe, DLXE, stats)
+        assert "TIM001" in _rules(validation.findings)
+        assert not validation.in_bounds
+
+    def test_observed_below_lower_bound_tim001(self):
+        exe = _stalling_exe()
+        stats, _machine = run_executable(exe)
+        stats.interlocks = 0                        # seeded violation
+        validation = check_timing(exe, DLXE, stats)
+        findings = [f for f in validation.findings if f.rule == "TIM001"]
+        assert findings and "below" in findings[0].message
+
+    def test_stray_execution_site_tim002(self):
+        # An executed count at an address no static block covers means
+        # the CFG missed code: warn, and keep TIM001 conservative.
+        exe = _raw_exe(DLXE, [
+            Instr(op=Op.MVI, rd=4, imm=1),          # 0x1000
+            Instr(op=Op.TRAP, imm=0),               # 0x1004
+            Instr(op=Op.ADD, rd=5, rs1=4, rs2=4),   # 0x1008 unreachable
+        ])
+        stats, _machine = run_executable(exe)
+        stats.exec_counts[2] = 3                    # seeded stray site
+        validation = check_timing(exe, DLXE, stats)
+        findings = [f for f in validation.findings if f.rule == "TIM002"]
+        assert findings and "outside" in findings[0].message
+
+    def test_non_uniform_block_counts_tim002(self):
+        exe = _stalling_exe()
+        stats, _machine = run_executable(exe)
+        stats.exec_counts[1] += 1                   # seeded CFG mismatch
+        validation = check_timing(exe, DLXE, stats)
+        findings = [f for f in validation.findings if f.rule == "TIM002"]
+        assert findings and "vary" in findings[0].message
+
+    def test_static_bounds_describe_smoke(self):
+        bounds = static_bounds(_stalling_exe(), DLXE)
+        text = bounds.describe()
+        assert "blocks" in text and "stalls" in text
+
+
+# ----------------------------------------------- whole-program runs
+
+
+class TestProgramValidation:
+    SOURCE = ("int main() { int i; int s; s = 0;"
+              " for (i = 0; i < 8; i = i + 1) s = s + i;"
+              " return s; }")
+
+    def test_timing_program_brackets_run(self, isa_target):
+        validation = timing_program(self.SOURCE, isa_target)
+        assert validation.findings == []
+        assert validation.in_bounds and validation.fully_covered
+        assert validation.interlock_lo <= validation.interlocks_observed \
+            <= validation.interlock_hi
+
+    def test_benchmarks_within_bounds(self, lab):
+        # The full 15x2 sweep runs in CI (`repro lint --timing`); two
+        # benchmarks per ISA keep tier-1 honest at interactive cost.
+        for name in ("ackermann", "towers"):
+            for target_name in ("d16", "dlxe"):
+                exe = lab.executable(name, target_name)
+                run = lab.run(name, target_name)
+                validation = check_timing(
+                    exe, get_target(target_name).isa, run.stats,
+                    model=lab.params)
+                assert validation.findings == [], (name, target_name)
+                assert validation.fully_covered
+                assert validation.interlock_lo <= run.stats.interlocks \
+                    <= validation.interlock_hi
