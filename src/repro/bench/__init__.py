@@ -1,9 +1,9 @@
 """The paper's benchmark suite as minic sources plus a registry."""
 
 from .suite import (BY_NAME, CACHE_SUITE, PROGRAM_DIR, SUITE, Benchmark,
-                    check_output, get_benchmark)
+                    check_output, get_benchmark, register_benchmark)
 from .timing import BENCH_JSON, time_phases, write_bench_json
 
 __all__ = ["BENCH_JSON", "BY_NAME", "CACHE_SUITE", "PROGRAM_DIR", "SUITE",
-           "Benchmark", "check_output", "get_benchmark", "time_phases",
-           "write_bench_json"]
+           "Benchmark", "check_output", "get_benchmark",
+           "register_benchmark", "time_phases", "write_bench_json"]

@@ -22,6 +22,9 @@ class Benchmark:
     expected_markers: tuple[str, ...]
     cache_program: bool = False
     uses_fp: bool = False
+    #: Source text for ad-hoc benchmarks (fault-injection and
+    #: robustness tests) that have no file under ``programs/``.
+    inline_source: str | None = None
 
     @property
     def path(self) -> Path:
@@ -29,6 +32,8 @@ class Benchmark:
 
     @functools.cached_property
     def source(self) -> str:
+        if self.inline_source is not None:
+            return self.inline_source
         return self.path.read_text()
 
 
@@ -69,6 +74,18 @@ BY_NAME = {bench.name: bench for bench in SUITE}
 
 #: Programs the paper uses for the cache experiments (Section 4.1).
 CACHE_SUITE = tuple(bench for bench in SUITE if bench.cache_program)
+
+
+def register_benchmark(bench: Benchmark) -> Benchmark:
+    """Register an ad-hoc benchmark under its name (returns it).
+
+    Used by fault-injection campaigns and robustness tests to run
+    synthetic programs (e.g. a seeded infinite loop) through the same
+    Lab machinery as the paper suite.  The registration is process-
+    local; ``SUITE`` (the paper's table) is never altered.
+    """
+    BY_NAME[bench.name] = bench
+    return bench
 
 
 def get_benchmark(name: str) -> Benchmark:

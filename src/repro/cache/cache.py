@@ -76,6 +76,26 @@ class Cache:
         self.write_accesses = self.write_misses = 0
         self.traffic_words = 0
 
+    def corrupt_line(self, line: int, *, tag_bit: int | None = None,
+                     sub_bit: int | None = None) -> None:
+        """Flip one bit of a line's metadata (fault injection).
+
+        ``tag_bit`` flips a bit of the stored tag — a subsequent access
+        to the line either falsely misses (extra traffic) or falsely
+        hits stale contents; ``sub_bit`` flips one sub-block valid bit.
+        Exactly one of the two must be given.
+        """
+        if (tag_bit is None) == (sub_bit is None):
+            raise ValueError("give exactly one of tag_bit/sub_bit")
+        if not 0 <= line < self.config.num_lines:
+            raise ValueError(f"line {line} out of range")
+        if tag_bit is not None:
+            self.tags[line] ^= 1 << tag_bit
+        else:
+            if not 0 <= sub_bit < self.config.subs_per_block:
+                raise ValueError(f"sub-block bit {sub_bit} out of range")
+            self.valid[line] ^= 1 << sub_bit
+
     def access(self, addr: int, *, write: bool = False) -> bool:
         """Access one address; returns True on hit."""
         cfg = self.config

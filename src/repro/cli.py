@@ -7,6 +7,7 @@ Commands:
 * ``disasm``   — compile and disassemble the linked image
 * ``lint``     — static analysis of a program or the benchmark suite
 * ``bench``    — run benchmark programs on several targets, one table
+* ``faults``   — seeded fault-injection campaign over the suite
 * ``targets``  — list compiler configurations
 * ``cache``    — inspect or clear the persistent artifact cache
 """
@@ -18,7 +19,12 @@ import sys
 
 from .bench import SUITE, get_benchmark
 from .cc import TARGETS, build_executable, compile_to_assembly
-from .machine import cycles_no_cache, run_executable
+from .machine import (DEFAULT_FUEL, MachineTimeout, cycles_no_cache,
+                      run_executable)
+
+#: ``repro run`` exit code when a watchdog stops the program
+#: (mirrors coreutils ``timeout``).
+EXIT_TIMEOUT = 124
 
 
 def _add_target(parser, default="d16"):
@@ -56,7 +62,19 @@ def cmd_run(args) -> int:
     if args.stdin:
         with open(args.stdin, "rb") as handle:
             stdin = handle.read()
-    stats, _machine = run_executable(result.executable, stdin=stdin)
+    try:
+        stats, _machine = run_executable(
+            result.executable, stdin=stdin,
+            max_instructions=args.max_instructions,
+            max_cycles=args.max_cycles)
+    except MachineTimeout as exc:
+        trap = "none" if exc.last_trap is None else str(exc.last_trap)
+        print(f"run: watchdog stopped the program: {exc.reason}\n"
+              f"run:   pc={exc.pc:#x}  instructions={exc.executed}  "
+              f"cycles={exc.cycles}  last trap={trap}\n"
+              f"run: raise --max-instructions/--max-cycles if the "
+              f"program legitimately needs more", file=sys.stderr)
+        return EXIT_TIMEOUT
     sys.stdout.write(stats.output)
     if args.stats:
         print(f"\n--- {args.target} statistics ---", file=sys.stderr)
@@ -204,6 +222,45 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .faults import FAULT_KINDS, FaultCampaign, render_report
+
+    names = args.names or default_fault_benchmarks()
+    for name in names:
+        get_benchmark(name)       # validate early
+    kinds = tuple(args.kinds.split(",")) if args.kinds else FAULT_KINDS
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            print(f"faults: unknown fault kind {kind!r} "
+                  f"(known: {', '.join(FAULT_KINDS)})", file=sys.stderr)
+            return 2
+    campaign = FaultCampaign(
+        benchmarks=tuple(names), targets=tuple(args.targets.split(",")),
+        faults=args.faults, seed=args.seed, kinds=kinds)
+    report = campaign.run(jobs=args.jobs)
+    text = render_report(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    errors = sum("error" in cell for cell in report["cells"])
+    summary = " | ".join(
+        f"{target}: sdc {row['sdc_rate']:.3f}, "
+        f"detected {row['detected_rate']:.3f}, "
+        f"flips-to-failure {row['flips_to_failure']}"
+        for target, row in report["summary"].items())
+    print(f"faults: {len(report['cells'])} cells "
+          f"({errors} failed), {args.faults} faults/cell, "
+          f"seed {args.seed} | {summary}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def default_fault_benchmarks() -> list[str]:
+    """Integer-heavy subset: quick and representative for campaigns."""
+    return ["ackermann", "queens", "towers", "bubblesort"]
+
+
 def cmd_cache(args) -> int:
     from .labcache import default_cache
 
@@ -255,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-O", "--opt", type=int, default=2)
     p.add_argument("--verify-ir", action="store_true",
                    help="run the IR verifier between optimizer passes")
+    p.add_argument("--max-instructions", type=int, default=DEFAULT_FUEL,
+                   metavar="N",
+                   help="watchdog: stop after N retired instructions "
+                        "(default %(default)s)")
+    p.add_argument("--max-cycles", type=int, default=None, metavar="N",
+                   help="watchdog: stop after N simulated cycles")
     _add_target(p)
     p.set_defaults(fn=cmd_run)
 
@@ -297,6 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="compile/run grid cells in N parallel processes")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "faults", help="seeded fault-injection campaign (JSON report)")
+    p.add_argument("names", nargs="*",
+                   help="benchmark names (default: quick subset)")
+    p.add_argument("--targets", default="d16,dlxe",
+                   help="comma-separated target list")
+    p.add_argument("-n", "--faults", type=int, default=20,
+                   help="faults per (benchmark, target) cell "
+                        "(default %(default)s)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign seed (default %(default)s)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated fault kinds "
+                        "(default: ifetch,reg,mem,trap,cache)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="run grid cells in N parallel processes")
+    p.add_argument("-o", "--output",
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("targets", help="list compiler configurations")
     p.set_defaults(fn=cmd_targets)

@@ -1,7 +1,8 @@
 """Experiment harness: one module per paper section (see DESIGN.md)."""
 
-from .runner import (Lab, MAIN_TARGETS, PAPER_TARGETS, ProgramRun,
-                     TraceRun, default_programs, geomean, mean)
+from .runner import (ExperimentError, Lab, MAIN_TARGETS, PAPER_TARGETS,
+                     ProgramRun, RunError, TraceRun, default_programs,
+                     geomean, mean)
 from .density import DensityResult, format_figure4, format_table6, run_density
 from .pathlength import (PathLengthResult, format_figure5, format_table7,
                          run_pathlength)
@@ -22,8 +23,9 @@ from .cacheperf import (CACHE_PROGRAMS, CacheStudy, format_figure16,
 
 __all__ = [
     "CACHE_PROGRAMS", "CacheStudy", "DataTrafficResult", "DensityResult",
-    "ImmediateBreakdown", "InterlockRow", "Lab", "MAIN_TARGETS",
-    "MemPerfResult", "PAPER_TARGETS", "PathLengthResult", "ProgramRun",
+    "ExperimentError", "ImmediateBreakdown", "InterlockRow", "Lab",
+    "MAIN_TARGETS", "MemPerfResult", "PAPER_TARGETS", "PathLengthResult",
+    "ProgramRun", "RunError",
     "SummaryResult", "TraceRun", "TrafficResult", "default_programs",
     "format_figure4", "format_figure5", "format_figure13",
     "format_figure14", "format_figure15", "format_figure16",

@@ -12,11 +12,19 @@ worker compiles and runs one (benchmark, target) cell, publishes the
 artifacts into the shared on-disk cache, and returns picklable results
 that the parent assembles in deterministic grid order -- parallel
 output is byte-identical to sequential output.
+
+The grid is *fail-soft*: per-cell wall-clock timeouts, bounded retry
+with backoff when a worker process dies, and a partial-results mode
+(``runs(..., partial=True)``) where a failed cell yields a typed
+:class:`RunError` record instead of aborting the whole sweep --
+required by adversarial workloads (fault-injection campaigns) where
+individual cells are *expected* to hang or crash.
 """
 
 from __future__ import annotations
 
 import math
+import time as _time
 from array import array
 from dataclasses import dataclass
 from typing import Iterable
@@ -25,7 +33,7 @@ from ..bench import SUITE, Benchmark, check_output, get_benchmark
 from ..cc import build_executable, get_target
 from ..labcache import (ArtifactCache, params_fingerprint, resolve_cache,
                         source_fingerprint, target_fingerprint)
-from ..machine import RunStats, run_executable
+from ..machine import DEFAULT_FUEL, RunStats, run_executable
 from ..machine.pipeline import PipelineParams
 
 #: The paper's five compiler configurations (Table 5-7 columns).
@@ -59,6 +67,33 @@ class TraceRun:
     dtrace: object        # array('I') of tagged data addresses
 
 
+@dataclass
+class RunError:
+    """Typed record for a grid cell that failed to produce a run.
+
+    Returned in place of a :class:`ProgramRun` when ``runs(...,
+    partial=True)``; ``kind`` is one of ``"error"`` (deterministic
+    failure: lint, miscompare, simulator fault, watchdog timeout),
+    ``"timeout"`` (no result within the wall-clock ``cell_timeout``) or
+    ``"worker-lost"`` (the worker process died and retries were
+    exhausted).
+    """
+
+    bench: str
+    target: str
+    kind: str
+    message: str
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return (f"{self.bench}/{self.target}: {self.kind} after "
+                f"{self.attempts} attempt(s): {self.message}")
+
+
 class ExperimentError(Exception):
     pass
 
@@ -79,19 +114,36 @@ class Lab:
     the static cycle bounds of :mod:`repro.analysis.timing` and raises
     when the observed interlocks escape them — a self-check tying the
     experiment numbers to the machine model.
+
+    Fail-soft knobs: ``max_instructions`` is the simulator watchdog
+    fuel per run (a hung benchmark raises
+    :class:`~repro.machine.MachineTimeout` instead of spinning on the
+    2-billion default); ``cell_timeout`` bounds the wall-clock seconds
+    a parallel grid cell may take to produce a result; ``retries`` is
+    how many times a cell is resubmitted after its worker *process*
+    dies (deterministic in-cell failures are never retried); and
+    ``retry_backoff`` seconds are slept between resubmissions.
     """
 
     def __init__(self, *, params: PipelineParams | None = None,
                  verify_output: bool = True,
                  cache=None, jobs: int = 1,
                  preflight_lint: bool = False,
-                 validate_timing: bool = False):
+                 validate_timing: bool = False,
+                 max_instructions: int = DEFAULT_FUEL,
+                 cell_timeout: float | None = None,
+                 retries: int = 1,
+                 retry_backoff: float = 0.1):
         self.params = params or PipelineParams()
         self.verify_output = verify_output
         self.cache: ArtifactCache = resolve_cache(cache)
         self.jobs = max(1, int(jobs))
         self.preflight_lint = preflight_lint
         self.validate_timing = validate_timing
+        self.max_instructions = max_instructions
+        self.cell_timeout = cell_timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = retry_backoff
         self._linted: set[tuple[str, str]] = set()
         self._timing_checked: set[tuple[str, str]] = set()
         self._runs: dict[tuple[str, str], ProgramRun] = {}
@@ -175,7 +227,9 @@ class Lab:
         payload = self.cache.get(cache_key)
         if payload is None:
             exe = self.executable(bench_name, target_name)
-            stats, _machine = run_executable(exe, params=self.params)
+            stats, _machine = run_executable(
+                exe, params=self.params,
+                max_instructions=self.max_instructions)
             self._check(bench, target_name, stats)
             payload = {"stats": stats, "binary_size": exe.binary_size,
                        "text_size": exe.text_size}
@@ -237,7 +291,8 @@ class Lab:
             exe = self.executable(bench_name, target_name)
             stats, machine = run_executable(
                 exe, params=self.params,
-                trace_instructions=True, trace_data=True)
+                trace_instructions=True, trace_data=True,
+                max_instructions=self.max_instructions)
             self._check(bench, target_name, stats)
             itrace, dtrace = machine.itrace, machine.dtrace
             self.cache.put(cache_key, {
@@ -265,12 +320,19 @@ class Lab:
     def runs(self, programs: Iterable[str] | None = None,
              targets: Iterable[str] = MAIN_TARGETS,
              jobs: int | None = None,
-             ) -> dict[str, dict[str, ProgramRun]]:
+             partial: bool = False,
+             ) -> dict[str, dict[str, ProgramRun | RunError]]:
         """Run a program x target grid; returns runs[program][target].
 
         With ``jobs > 1`` the missing cells are fanned out over a
         process pool; results are assembled in grid order, so the
         returned structure is identical to a sequential run.
+
+        With ``partial=True`` a failing cell does not abort the sweep:
+        its grid slot holds a typed :class:`RunError` (kind ``error`` /
+        ``timeout`` / ``worker-lost``) and every other cell still
+        completes.  The default (``partial=False``) keeps the historic
+        raise-on-first-failure contract.
         """
         names = list(programs) if programs is not None \
             else [bench.name for bench in SUITE]
@@ -278,43 +340,129 @@ class Lab:
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         pending = [(name, target) for name in names for target in targets
                    if (name, target) not in self._runs]
+        errors: dict[tuple[str, str], RunError] = {}
         if jobs > 1 and len(pending) > 1:
-            self._fan_out(pending, jobs)
-        grid: dict[str, dict[str, ProgramRun]] = {}
+            errors = self._fan_out(pending, jobs, partial)
+        grid: dict[str, dict[str, ProgramRun | RunError]] = {}
         for name in names:
-            grid[name] = {t: self.run(name, t) for t in targets}
+            row: dict[str, ProgramRun | RunError] = {}
+            for target in targets:
+                cell = (name, target)
+                if cell in self._runs:
+                    row[target] = self.run(name, target)
+                elif cell in errors:
+                    row[target] = errors[cell]
+                elif partial:
+                    try:
+                        row[target] = self.run(name, target)
+                    except Exception as exc:  # noqa: BLE001 - fail-soft
+                        row[target] = RunError(
+                            bench=name, target=target, kind="error",
+                            message=f"{type(exc).__name__}: {exc}")
+                else:
+                    row[target] = self.run(name, target)
+            grid[name] = row
         return grid
 
-    def _fan_out(self, cells, jobs: int) -> None:
-        """Compile+run grid cells in worker processes (deterministic)."""
-        from concurrent.futures import ProcessPoolExecutor
+    def _cell_job(self, cell: tuple[str, str]) -> tuple:
+        name, target = cell
+        return (name, target, self.params, self.verify_output,
+                str(self.cache.root), self.cache.enabled,
+                self.preflight_lint, self.validate_timing,
+                self.max_instructions)
+
+    def _fan_out(self, cells, jobs: int, partial: bool,
+                 ) -> dict[tuple[str, str], RunError]:
+        """Compile+run grid cells in worker processes (deterministic).
+
+        Successful cells land in ``self._runs``; failed cells are
+        returned as :class:`RunError` records (or raised when
+        ``partial`` is false).  Worker-process death is retried up to
+        ``self.retries`` times with backoff; wall-clock timeouts and
+        deterministic in-cell exceptions are not retried.
+        """
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
 
         for name, target in cells:         # validate before forking
             get_benchmark(name)
             get_target(target)
-        work = [(name, target, self.params, self.verify_output,
-                 str(self.cache.root), self.cache.enabled,
-                 self.preflight_lint, self.validate_timing)
-                for name, target in cells]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            # executor.map preserves submission order: assembly below is
-            # independent of worker completion order.
-            for name, target, stats, binary_size, text_size in pool.map(
-                    _grid_cell_worker, work):
-                self._runs[(name, target)] = ProgramRun(
-                    bench=get_benchmark(name), target_name=target,
-                    stats=stats, binary_size=binary_size,
-                    text_size=text_size)
+        errors: dict[tuple[str, str], RunError] = {}
+        attempts = dict.fromkeys(cells, 0)
+        pending = list(cells)
+        while pending:
+            batch, pending = pending, []
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(batch)))
+            abandoned = False
+            try:
+                futures = {}
+                for cell in batch:
+                    attempts[cell] += 1
+                    futures[cell] = pool.submit(_grid_cell_worker,
+                                                self._cell_job(cell))
+                # Submission-order iteration keeps failure reporting
+                # deterministic regardless of completion order.
+                for cell in batch:
+                    name, target = cell
+                    try:
+                        result = futures[cell].result(
+                            timeout=self.cell_timeout)
+                    except FutureTimeout:
+                        futures[cell].cancel()
+                        errors[cell] = RunError(
+                            bench=name, target=target, kind="timeout",
+                            message=f"no result within "
+                                    f"{self.cell_timeout}s (worker "
+                                    f"abandoned)",
+                            attempts=attempts[cell])
+                        # The worker may be stuck for good; abandon the
+                        # pool rather than wait for it on shutdown.
+                        abandoned = True
+                    except BrokenExecutor as exc:
+                        if attempts[cell] <= self.retries:
+                            pending.append(cell)
+                        else:
+                            errors[cell] = RunError(
+                                bench=name, target=target,
+                                kind="worker-lost",
+                                message=f"worker process died "
+                                        f"({type(exc).__name__}), "
+                                        f"retries exhausted",
+                                attempts=attempts[cell])
+                    except Exception as exc:  # deterministic failure
+                        errors[cell] = RunError(
+                            bench=name, target=target, kind="error",
+                            message=f"{type(exc).__name__}: {exc}",
+                            attempts=attempts[cell])
+                    else:
+                        _name, _target, stats, binary_size, text_size \
+                            = result
+                        self._runs[cell] = ProgramRun(
+                            bench=get_benchmark(name),
+                            target_name=target, stats=stats,
+                            binary_size=binary_size,
+                            text_size=text_size)
+            finally:
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+            if pending:
+                _time.sleep(self.retry_backoff)
+        if not partial and errors:
+            # Report the first failed cell in submission (grid) order.
+            first = next(c for c in cells if c in errors)
+            raise ExperimentError(str(errors[first]))
+        return errors
 
 
 def _grid_cell_worker(job):
     """Run one (benchmark, target) cell in a worker process."""
     (bench_name, target_name, params, verify, cache_root, cache_enabled,
-     preflight, validate_timing) = job
+     preflight, validate_timing, max_instructions) = job
     lab = Lab(params=params, verify_output=verify,
               cache=ArtifactCache(cache_root, enabled=cache_enabled),
               jobs=1, preflight_lint=preflight,
-              validate_timing=validate_timing)
+              validate_timing=validate_timing,
+              max_instructions=max_instructions)
     run = lab.run(bench_name, target_name)
     return (bench_name, target_name, run.stats, run.binary_size,
             run.text_size)

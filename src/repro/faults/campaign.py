@@ -1,0 +1,287 @@
+"""Seeded fault-injection campaigns over the benchmark x target grid.
+
+A :class:`FaultCampaign` plans every fault up front from a master seed
+(per-cell PRNG streams, so planning is independent of execution order),
+fans the (benchmark, target) cells out over a process pool exactly
+like the experiment Lab, and aggregates the classified outcomes into a
+versioned, byte-deterministic JSON report: the same seed and grid
+produce the identical report for ``jobs=1`` and ``jobs=N``.
+
+The campaign itself is fail-soft.  A cell whose *golden* run fails
+(e.g. a hung benchmark caught by the watchdog) is recorded as a typed
+error cell; a worker that dies is retried once and then recorded; and
+individual faulty runs can never abort a cell — every simulator
+escape is folded into the outcome taxonomy (``crash`` at worst).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..bench import get_benchmark
+from ..experiments.runner import Lab, MAIN_TARGETS
+from ..labcache import ArtifactCache
+from ..machine import DEFAULT_FUEL
+from .inject import FunctionMap, run_cache_fault, run_fault
+from .model import (DEFAULT_KINDS, OUTCOMES, SCHEMA_VERSION, FaultResult,
+                    FaultSpec, GoldenRun)
+
+
+def plan_cell(bench: str, target: str, golden: GoldenRun, exe, *,
+              faults: int, seed: int,
+              kinds=DEFAULT_KINDS) -> list[FaultSpec]:
+    """Deterministically derive one cell's fault list.
+
+    The PRNG stream is keyed by ``(seed, bench, target)`` only — not by
+    execution order, worker identity, or wall clock — which is what
+    makes campaign reports byte-identical across ``jobs`` settings.
+    """
+    rng = random.Random(f"{seed}/{bench}/{target}")
+    width_bits = 16 if exe.isa_name == "D16" else 32
+    data_len = max(4, len(exe.data))
+    specs = []
+    for index in range(faults):
+        kind = rng.choice(kinds)
+        # Trigger inside the golden path (never at 0: the fault must
+        # perturb a *running* program, and never at the very end).
+        trigger = rng.randrange(1, max(2, golden.instructions))
+        spec = FaultSpec(index=index, bench=bench, target=target,
+                         kind=kind, trigger=trigger)
+        if kind == "ifetch":
+            spec = FaultSpec(**{**spec.__dict__,
+                                "bit": rng.randrange(width_bits)})
+        elif kind == "reg":
+            spec = FaultSpec(**{**spec.__dict__,
+                                "reg": rng.randrange(32),
+                                "bit": rng.randrange(32)})
+        elif kind == "mem":
+            spec = FaultSpec(**{**spec.__dict__,
+                                "addr": exe.data_base
+                                + rng.randrange(data_len),
+                                "bit": rng.randrange(8)})
+        elif kind == "trap":
+            spec = FaultSpec(**{**spec.__dict__,
+                                "mode": rng.choice(("getc-eof",
+                                                    "sbrk-exhaust"))})
+        elif kind == "cache":
+            spec = FaultSpec(**{**spec.__dict__,
+                                "line": rng.randrange(256),
+                                "bit": rng.randrange(32)})
+        specs.append(spec)
+    return specs
+
+
+@dataclass
+class CellReport:
+    """Classified results for one (benchmark, target) cell."""
+
+    bench: str
+    target: str
+    golden: GoldenRun | None
+    results: list[FaultResult] = field(default_factory=list)
+    error: str = ""                   # golden run failed (cell skipped)
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for result in self.results:
+            counts[result.outcome] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        if self.error:
+            return {"bench": self.bench, "target": self.target,
+                    "error": self.error}
+        counts = self.outcome_counts()
+        total = len(self.results)
+        failures = total - counts["masked"]
+        latencies = [r.latency_cycles for r in self.results
+                     if r.latency_cycles is not None]
+        functions: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            if not result.function:
+                continue
+            per = functions.setdefault(
+                result.function, {outcome: 0 for outcome in OUTCOMES})
+            per[result.outcome] += 1
+        return {
+            "bench": self.bench,
+            "target": self.target,
+            "golden": {"instructions": self.golden.instructions,
+                       "interlocks": self.golden.interlocks,
+                       "exit_code": self.golden.exit_code},
+            "faults": [r.to_dict() for r in self.results],
+            "outcomes": counts,
+            "sdc_rate": round(counts["sdc"] / total, 6) if total else 0.0,
+            "detected_rate": (round(counts["detected"] / total, 6)
+                              if total else 0.0),
+            "mean_detection_latency_cycles": (
+                round(sum(latencies) / len(latencies), 3)
+                if latencies else None),
+            # Expected random flips until the first non-masked outcome
+            # (geometric estimate from this sample).
+            "flips_to_failure": (round(total / failures, 3)
+                                 if failures else None),
+            "functions": dict(sorted(functions.items())),
+        }
+
+
+@dataclass
+class FaultCampaign:
+    """A seeded fault grid: benchmarks x targets x faults-per-cell."""
+
+    benchmarks: tuple[str, ...]
+    targets: tuple[str, ...] = MAIN_TARGETS
+    faults: int = 20
+    seed: int = 1
+    kinds: tuple[str, ...] = DEFAULT_KINDS
+    #: Map injection sites to functions via the xisa summaries
+    #: (adds one static analysis per cell).
+    attribute_functions: bool = True
+    max_instructions: int = DEFAULT_FUEL
+    cache: object = None              # Lab cache selector
+
+    def run(self, jobs: int = 1) -> dict:
+        """Execute the campaign; returns the versioned report dict."""
+        cells = [(bench, target) for bench in self.benchmarks
+                 for target in self.targets]
+        for bench, target in cells:
+            get_benchmark(bench)      # validate before any forking
+        lab = Lab(cache=self.cache)   # resolve cache root once
+        jobs = max(1, int(jobs))
+        reports: dict[tuple[str, str], CellReport] = {}
+        if jobs > 1 and len(cells) > 1:
+            reports = self._fan_out(cells, lab, jobs)
+        for cell in cells:
+            if cell not in reports:
+                reports[cell] = _campaign_cell(
+                    cell[0], cell[1], self._cell_config(lab))
+        return self._report(reports)
+
+    # ------------------------------------------------------- internals
+
+    def _cell_config(self, lab: Lab) -> dict:
+        return {"faults": self.faults, "seed": self.seed,
+                "kinds": tuple(self.kinds),
+                "attribute": self.attribute_functions,
+                "max_instructions": self.max_instructions,
+                "cache_root": str(lab.cache.root),
+                "cache_enabled": lab.cache.enabled}
+
+    def _fan_out(self, cells, lab: Lab, jobs: int,
+                 ) -> dict[tuple[str, str], CellReport]:
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        config = self._cell_config(lab)
+        reports: dict[tuple[str, str], CellReport] = {}
+        pending = list(cells)
+        retried = set()
+        while pending:
+            batch, pending = pending, []
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(batch))) as pool:
+                futures = {cell: pool.submit(_campaign_cell, cell[0],
+                                             cell[1], config)
+                           for cell in batch}
+                for cell in batch:
+                    try:
+                        reports[cell] = futures[cell].result()
+                    except BrokenExecutor:
+                        if cell not in retried:
+                            retried.add(cell)
+                            pending.append(cell)
+                        else:
+                            reports[cell] = CellReport(
+                                bench=cell[0], target=cell[1],
+                                golden=None,
+                                error="worker process died twice")
+                    except Exception as exc:  # noqa: BLE001 - fail-soft
+                        reports[cell] = CellReport(
+                            bench=cell[0], target=cell[1], golden=None,
+                            error=f"{type(exc).__name__}: {exc}")
+        return reports
+
+    def _report(self, reports: dict[tuple[str, str], CellReport]) -> dict:
+        cells = [reports[cell].to_dict()
+                 for cell in sorted(reports)]
+        by_target: dict[str, dict] = {}
+        for target in self.targets:
+            totals = {outcome: 0 for outcome in OUTCOMES}
+            faults = 0
+            for cell in cells:
+                if cell["target"] != target or "error" in cell:
+                    continue
+                for outcome, count in cell["outcomes"].items():
+                    totals[outcome] += count
+                faults += sum(cell["outcomes"].values())
+            failures = faults - totals["masked"]
+            by_target[target] = {
+                "faults": faults,
+                "outcomes": totals,
+                "sdc_rate": (round(totals["sdc"] / faults, 6)
+                             if faults else 0.0),
+                "detected_rate": (round(totals["detected"] / faults, 6)
+                                  if faults else 0.0),
+                "flips_to_failure": (round(faults / failures, 3)
+                                     if failures else None),
+            }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "fault-campaign",
+            "seed": self.seed,
+            "faults_per_cell": self.faults,
+            "fault_kinds": list(self.kinds),
+            "benchmarks": list(self.benchmarks),
+            "targets": list(self.targets),
+            "cells": cells,
+            "summary": by_target,
+        }
+
+
+def render_report(report: dict) -> str:
+    """Serialize a campaign report (byte-deterministic)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def _campaign_cell(bench_name: str, target: str, config: dict,
+                   ) -> CellReport:
+    """Plan and execute every fault of one cell (any process)."""
+    lab = Lab(cache=ArtifactCache(config["cache_root"],
+                                  enabled=config["cache_enabled"]),
+              max_instructions=config["max_instructions"])
+    bench = get_benchmark(bench_name)
+    try:
+        golden_run = lab.run(bench_name, target)
+        exe = lab.executable(bench_name, target)
+    except Exception as exc:  # noqa: BLE001 - golden run is untrusted
+        return CellReport(bench=bench_name, target=target, golden=None,
+                          error=f"golden run failed: "
+                                f"{type(exc).__name__}: {exc}")
+    stats = golden_run.stats
+    golden = GoldenRun(instructions=stats.instructions,
+                       interlocks=stats.interlocks,
+                       exit_code=stats.exit_code, output=stats.output)
+    specs = plan_cell(bench_name, target, golden, exe,
+                      faults=config["faults"], seed=config["seed"],
+                      kinds=config["kinds"])
+
+    functions = None
+    if config["attribute"] and any(s.kind != "cache" for s in specs):
+        try:
+            functions = FunctionMap.for_source(bench.source, target)
+        except Exception:  # noqa: BLE001 - attribution is best-effort
+            functions = None
+    itrace = None
+    if any(s.kind == "cache" for s in specs):
+        itrace = lab.trace(bench_name, target).itrace
+
+    report = CellReport(bench=bench_name, target=target, golden=golden)
+    for spec in specs:
+        if spec.kind == "cache":
+            report.results.append(run_cache_fault(itrace, spec))
+        else:
+            report.results.append(
+                run_fault(exe, spec, golden, params=lab.params,
+                          functions=functions))
+    return report

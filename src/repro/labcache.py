@@ -21,20 +21,25 @@ Layout on disk (``.repro-cache/`` by default, override with
 ``REPRO_CACHE_DIR``; set ``REPRO_CACHE=off`` to disable)::
 
     .repro-cache/
-      v1/                     <- schema version; bumping orphans everything
-        ab/abcdef....bin      <- zlib(pickle(payload)), named by key
+      v2/                     <- schema version; bumping orphans everything
+        ab/abcdef....bin      <- sha256(body) || body,
+                                 body = zlib(pickle(payload))
 
 Writes are atomic (temp file + ``os.replace``) so concurrent writers --
 the ``jobs=N`` process pool -- can share one cache directory; both
 writers produce identical bytes for identical keys, so the race is
-benign.  Corrupt or unreadable entries are treated as misses and
-deleted.
+benign.  Every entry carries a content digest that is verified on
+load, so a flipped bit anywhere in the body is caught *before*
+unpickling; corrupt, truncated, or unreadable entries are logged,
+evicted, and treated as misses -- a damaged cache heals itself by
+rebuilding instead of poisoning an experiment sweep.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -42,8 +47,14 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+log = logging.getLogger("repro.labcache")
+
 #: Bump to orphan every existing cache entry (on-disk format changes).
-SCHEMA_VERSION = "v1"
+#: v2: 32-byte sha256 content digest prefixed to every entry.
+SCHEMA_VERSION = "v2"
+
+#: Length of the digest header on every on-disk entry.
+DIGEST_BYTES = 32
 
 #: Environment switches.
 ENV_DIR = "REPRO_CACHE_DIR"
@@ -136,26 +147,43 @@ class ArtifactCache:
     # ------------------------------------------------------------ get/put
 
     def get(self, key: str):
-        """Load an artifact, or None on miss (never raises)."""
+        """Load an artifact, or None on miss (never raises).
+
+        The stored digest is verified before the body is unpickled, so
+        on-disk corruption is caught deterministically; any damaged
+        entry is evicted (see :meth:`_evict`) and reported as a miss,
+        letting the caller rebuild it.
+        """
         if not self.enabled:
             return None
         path = self._path(key)
         try:
             blob = path.read_bytes()
-            payload = pickle.loads(zlib.decompress(blob))
+            if len(blob) < DIGEST_BYTES:
+                raise ValueError(f"entry shorter than its {DIGEST_BYTES}"
+                                 f"-byte digest header ({len(blob)} bytes)")
+            digest, body = blob[:DIGEST_BYTES], blob[DIGEST_BYTES:]
+            if hashlib.sha256(body).digest() != digest:
+                raise ValueError("content digest mismatch")
+            payload = pickle.loads(zlib.decompress(body))
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             # Corrupt/truncated/unpicklable entry: drop it, treat as miss.
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict(path, exc)
             return None
         self.hits += 1
         return payload
+
+    def _evict(self, path: Path, reason: Exception) -> None:
+        """Delete a damaged entry (logged; never raises)."""
+        log.warning("evicting corrupt cache entry %s: %s", path, reason)
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, payload) -> None:
         """Store an artifact atomically (no-op when disabled)."""
@@ -163,7 +191,8 @@ class ArtifactCache:
             return
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = zlib.compress(pickle.dumps(payload, protocol=4), 6)
+        body = zlib.compress(pickle.dumps(payload, protocol=4), 6)
+        blob = hashlib.sha256(body).digest() + body
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:

@@ -1,6 +1,7 @@
 """Machine simulation: memory, traps, pipeline timing, CPU, performance."""
 
-from .cpu import Machine, MachineError, run_executable
+from .cpu import (DEFAULT_FUEL, Machine, MachineError, MachineTimeout,
+                  run_executable)
 from .memory import Memory, MemoryError_
 from .perf import (cpi, cycles_no_cache, cycles_with_cache,
                    fetches_per_cycle, normalized_cpi)
@@ -10,7 +11,8 @@ from .traps import (TRAP_EXIT, TRAP_GETC, TRAP_PUTC, TRAP_SBRK, TrapError,
                     TrapHandler)
 
 __all__ = [
-    "FP_STATUS_REG", "HazardModel", "Machine", "MachineError", "Memory",
+    "DEFAULT_FUEL", "FP_STATUS_REG", "HazardModel", "Machine",
+    "MachineError", "MachineTimeout", "Memory",
     "MemoryError_", "PipelineParams", "RunStats", "TRAP_EXIT", "TRAP_GETC",
     "TRAP_PUTC", "TRAP_SBRK", "TrapError", "TrapHandler", "cpi",
     "cycles_no_cache", "cycles_with_cache", "fetches_per_cycle",

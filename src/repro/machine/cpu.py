@@ -36,9 +36,35 @@ from .traps import TrapHandler
 
 WORD_MASK = 0xFFFFFFFF
 
+#: Default watchdog fuel (instructions) for :meth:`Machine.run`.
+DEFAULT_FUEL = 2_000_000_000
+
 
 class MachineError(Exception):
     """Runtime failure of the simulated machine."""
+
+
+class MachineTimeout(MachineError):
+    """Watchdog expiry: the program exceeded its fuel or stopped making
+    progress.  Carries enough context (pc, instruction and cycle counts,
+    the last trap handled) to diagnose the hang without re-running.
+    """
+
+    def __init__(self, reason: str, pc: int = 0, executed: int = 0,
+                 cycles: int = 0, last_trap: int | None = None):
+        self.reason = reason
+        self.pc = pc
+        self.executed = executed
+        self.cycles = cycles
+        self.last_trap = last_trap
+        trap = "none" if last_trap is None else str(last_trap)
+        super().__init__(
+            f"{reason}: pc={pc:#x} after {executed} instructions, "
+            f"{cycles} cycles, last trap {trap}")
+
+    def __reduce__(self):  # exceptions cross process-pool boundaries
+        return (MachineTimeout, (self.reason, self.pc, self.executed,
+                                 self.cycles, self.last_trap))
 
 
 def _f32_bits_to_float(bits: int) -> float:
@@ -149,6 +175,14 @@ class Machine:
                                  heap_limit=mem_size - 0x1_0000)
         self.itrace: array | None = array("I") if trace_instructions else None
         self.dtrace: array | None = array("I") if trace_data else None
+        # Pipeline scoreboard and cumulative counters persist across
+        # run() calls, so execution can pause (``stop_after``) and
+        # resume — the fault injector perturbs state in between.
+        self._ready = [0] * 65
+        self._rkind = [0] * 65         # 0 = alu, 1 = load, 2 = math
+        self._st = {"math_free": 0, "time": 0, "interlocks": 0,
+                    "load_il": 0, "math_il": 0, "ifw": 0, "ifd": 0,
+                    "cur_word": -1, "cur_dword": -1, "executed": 0}
         self._decode_text()
 
     # -------------------------------------------------------- decoding
@@ -158,37 +192,74 @@ class Machine:
         text = self.exe.text
         width = isa.width_bytes
         count = len(text) // width
-        self.program: list[Instr | None] = []
-        self.handlers: list = []
-        self.reads_l: list[tuple[int, ...]] = []
-        self.writes_l: list[tuple[int, ...]] = []
-        self.mlat: list[int] = []      # math-unit occupancy (0 = not math)
-        self.rlat: list[int] = []      # cycles until results are usable
-        self.wkind: list[int] = []     # 0 = alu, 1 = load, 2 = math
+        self.program: list[Instr | None] = [None] * count
+        self.handlers: list = [None] * count
+        self.reads_l: list[tuple[int, ...]] = [()] * count
+        self.writes_l: list[tuple[int, ...]] = [()] * count
+        self.mlat: list[int] = [0] * count  # math occupancy (0 = not math)
+        self.rlat: list[int] = [1] * count  # cycles until results usable
+        self.wkind: list[int] = [0] * count  # 0 = alu, 1 = load, 2 = math
         self.counts = [0] * count
         for idx in range(count):
             try:
                 instr = isa.decode_bytes(text, idx * width)
             except DecodingError:
                 instr = None  # constant-pool data inside text
-            self.program.append(instr)
-            if instr is None:
-                self.handlers.append(None)
-                self.reads_l.append(())
-                self.writes_l.append(())
-                self.mlat.append(0)
-                self.rlat.append(1)
-                self.wkind.append(0)
-                continue
-            reads, writes = hazard_indices(instr)
-            self.reads_l.append(reads)
-            self.writes_l.append(writes)
-            info = instr.info
-            self.mlat.append(self.params.occupancy(info))
-            self.rlat.append(self.params.result_latency(info))
-            self.wkind.append(2 if info.kind == OpKind.MATH
-                              else 1 if info.kind == OpKind.LOAD else 0)
-            self.handlers.append(self._compile(instr))
+            if instr is not None:
+                self._install(idx, instr)
+
+    def _install(self, idx: int, instr: Instr | None) -> None:
+        """(Re)build one pre-decoded slot's handler and hazard metadata."""
+        self.program[idx] = instr
+        if instr is None:
+            self.handlers[idx] = None
+            self.reads_l[idx] = ()
+            self.writes_l[idx] = ()
+            self.mlat[idx] = 0
+            self.rlat[idx] = 1
+            self.wkind[idx] = 0
+            return
+        reads, writes = hazard_indices(instr)
+        self.reads_l[idx] = reads
+        self.writes_l[idx] = writes
+        info = instr.info
+        self.mlat[idx] = self.params.occupancy(info)
+        self.rlat[idx] = self.params.result_latency(info)
+        self.wkind[idx] = (2 if info.kind == OpKind.MATH
+                           else 1 if info.kind == OpKind.LOAD else 0)
+        self.handlers[idx] = self._compile(instr)
+
+    # ------------------------------------------------- fault injection
+
+    def index_of(self, pc: int) -> int:
+        """Pre-decoded slot index for an address in the text segment."""
+        shift = 1 if self.isa.width_bytes == 2 else 2
+        idx = (pc - self.exe.text_base) >> shift
+        if idx < 0 or idx >= len(self.program):
+            raise MachineError(f"PC {pc:#x} outside text segment")
+        return idx
+
+    def patch_text(self, idx: int, raw: bytes) -> Instr | None:
+        """Overwrite one text slot with ``raw`` bytes (fault injection).
+
+        Rewrites the machine's *own* copies — the data-memory image and
+        the pre-decoded handler tables — never the shared
+        :class:`Executable`.  An undecodable word installs an empty slot,
+        which raises :class:`MachineError` when execution reaches it
+        (the machine "detects" the corrupt fetch).  Returns the decoded
+        instruction, or None when the word no longer decodes.
+        """
+        width = self.isa.width_bytes
+        if len(raw) != width:
+            raise ValueError(f"expected {width} raw bytes, got {len(raw)}")
+        addr = self.exe.text_base + idx * width
+        self.mem.data[addr:addr + width] = raw
+        try:
+            instr = self.isa.decode_bytes(bytes(raw), 0)
+        except DecodingError:
+            instr = None
+        self._install(idx, instr)
+        return instr
 
     def _compile(self, instr: Instr):
         """Build the execution closure for one decoded instruction."""
@@ -488,7 +559,7 @@ class Machine:
             traps = m.traps
 
             def trap(pc):
-                result = traps.handle(imm, g[2])
+                result = traps.handle(imm, g[2], pc)
                 if traps.exited:
                     m.halted = True
                 elif result is not None:
@@ -510,8 +581,32 @@ class Machine:
 
     # -------------------------------------------------------- execution
 
-    def run(self, max_instructions: int = 2_000_000_000) -> RunStats:
-        """Execute until the program exits; returns collected statistics."""
+    @property
+    def instructions_executed(self) -> int:
+        """Instructions retired so far (valid mid-run and after errors)."""
+        return self._st["executed"]
+
+    @property
+    def cycle_time(self) -> int:
+        """Issue-clock position so far (valid mid-run and after errors)."""
+        return self._st["time"]
+
+    def run(self, max_instructions: int = DEFAULT_FUEL, *,
+            max_cycles: int | None = None,
+            stop_after: int | None = None) -> RunStats:
+        """Execute until the program exits; returns collected statistics.
+
+        Watchdogs: ``max_instructions`` and ``max_cycles`` bound the
+        *cumulative* execution and raise :class:`MachineTimeout` (with
+        pc/cycle context) when exceeded; a control transfer to its own
+        address is detected immediately as a no-progress loop.
+
+        ``stop_after`` pauses execution once the cumulative retired
+        instruction count reaches it, returning a snapshot of the
+        statistics with the machine still live — calling :meth:`run`
+        again resumes exactly where it stopped (the pipeline scoreboard
+        persists).  This is the fault injector's hook.
+        """
         base = self.exe.text_base
         shift = 1 if self.isa.width_bytes == 2 else 2
         handlers = self.handlers
@@ -524,74 +619,104 @@ class Machine:
         limit = len(handlers)
         itrace = self.itrace
 
-        ready = [0] * 65
-        wkind = [0] * 65              # 0 = alu, 1 = load, 2 = math
-        math_free = 0
-        time = 0
-        interlocks = load_il = math_il = 0
-        ifw = ifd = 0
-        cur_word = cur_dword = -1
-        executed = 0
+        st = self._st
+        ready = self._ready
+        wkind = self._rkind
+        math_free = st["math_free"]
+        time = st["time"]
+        interlocks = st["interlocks"]
+        load_il = st["load_il"]
+        math_il = st["math_il"]
+        ifw = st["ifw"]
+        ifd = st["ifd"]
+        cur_word = st["cur_word"]
+        cur_dword = st["cur_dword"]
+        executed = st["executed"]
+        stop_at = executed + (1 << 62) if stop_after is None else stop_after
+        cycle_limit = (1 << 62) if max_cycles is None else max_cycles
         pc = self.pc
 
-        while not self.halted:
-            idx = (pc - base) >> shift
-            if idx < 0 or idx >= limit:
-                raise MachineError(f"PC {pc:#x} outside text segment")
-            handler = handlers[idx]
-            if handler is None:
-                raise MachineError(f"executed non-instruction at {pc:#x}")
-            counts[idx] += 1
-            executed += 1
-            if executed > max_instructions:
-                raise MachineError(
-                    f"exceeded instruction limit {max_instructions}")
-            if itrace is not None:
-                itrace.append(pc)
+        try:
+            while not self.halted and executed < stop_at:
+                idx = (pc - base) >> shift
+                if idx < 0 or idx >= limit:
+                    raise MachineError(f"PC {pc:#x} outside text segment")
+                handler = handlers[idx]
+                if handler is None:
+                    raise MachineError(
+                        f"executed non-instruction at {pc:#x}")
+                counts[idx] += 1
+                executed += 1
+                if executed > max_instructions:
+                    raise MachineTimeout(
+                        f"exceeded instruction limit {max_instructions}",
+                        pc, executed, time, self.traps.last_trap)
+                if itrace is not None:
+                    itrace.append(pc)
 
-            block = pc >> 2
-            if block != cur_word:
-                ifw += 1
-                cur_word = block
-            block >>= 1
-            if block != cur_dword:
-                ifd += 1
-                cur_dword = block
+                block = pc >> 2
+                if block != cur_word:
+                    ifw += 1
+                    cur_word = block
+                block >>= 1
+                if block != cur_dword:
+                    ifd += 1
+                    cur_dword = block
 
-            issue_at = time + 1
-            need = issue_at
-            for index in reads_l[idx]:
-                if ready[index] > need:
-                    need = ready[index]
-            latency = mlat[idx]
-            math_blocked = False
-            if latency and math_free > need:
-                need = math_free
-                math_blocked = True
-            if need != issue_at:
-                stall = need - issue_at
-                interlocks += stall
-                if math_blocked or any(
-                        ready[index] == need and wkind[index] == 2
-                        for index in reads_l[idx]):
-                    math_il += stall
-                else:
-                    load_il += stall
-            time = need
-            if latency:
-                math_free = time + latency
-            result_at = time + rlat[idx]
-            kind = wk[idx]
-            for index in writes_l[idx]:
-                ready[index] = result_at
-                wkind[index] = kind
+                issue_at = time + 1
+                need = issue_at
+                for index in reads_l[idx]:
+                    if ready[index] > need:
+                        need = ready[index]
+                latency = mlat[idx]
+                math_blocked = False
+                if latency and math_free > need:
+                    need = math_free
+                    math_blocked = True
+                if need != issue_at:
+                    stall = need - issue_at
+                    interlocks += stall
+                    if math_blocked or any(
+                            ready[index] == need and wkind[index] == 2
+                            for index in reads_l[idx]):
+                        math_il += stall
+                    else:
+                        load_il += stall
+                time = need
+                if time > cycle_limit:
+                    raise MachineTimeout(
+                        f"exceeded cycle limit {max_cycles}",
+                        pc, executed, time, self.traps.last_trap)
+                if latency:
+                    math_free = time + latency
+                result_at = time + rlat[idx]
+                kind = wk[idx]
+                for index in writes_l[idx]:
+                    ready[index] = result_at
+                    wkind[index] = kind
 
-            try:
-                pc = handler(pc)
-            except (MemoryError_, MachineError) as exc:
-                raise MachineError(f"at pc={pc:#x}: {exc}") from exc
-
-        self.pc = pc
+                try:
+                    new_pc = handler(pc)
+                except (MemoryError_, MachineError) as exc:
+                    raise MachineError(f"at pc={pc:#x}: {exc}") from exc
+                if new_pc == pc:
+                    # A control transfer to its own address can never
+                    # terminate: no other instruction runs in between,
+                    # so the machine state feeding it cannot change.
+                    raise MachineTimeout(
+                        "no-progress loop (instruction branches to "
+                        "itself)", pc, executed, time,
+                        self.traps.last_trap)
+                pc = new_pc
+        finally:
+            # Persist state even on errors, so watchdog handlers and the
+            # fault classifier can read pc/executed/cycles afterwards.
+            self.pc = pc
+            st.update(math_free=math_free, time=time,
+                      interlocks=interlocks, load_il=load_il,
+                      math_il=math_il, ifw=ifw, ifd=ifd,
+                      cur_word=cur_word, cur_dword=cur_dword,
+                      executed=executed)
         return self._stats(executed, interlocks, load_il, math_il, ifw, ifd)
 
     def _stats(self, executed, interlocks, load_il, math_il, ifw, ifd):
@@ -616,11 +741,13 @@ def run_executable(exe: Executable, *, stdin: bytes = b"",
                    params: PipelineParams | None = None,
                    trace_instructions: bool = False,
                    trace_data: bool = False,
-                   max_instructions: int = 2_000_000_000,
+                   max_instructions: int = DEFAULT_FUEL,
+                   max_cycles: int | None = None,
                    ) -> tuple[RunStats, Machine]:
     """Load and run an executable; returns (stats, machine)."""
     machine = Machine(exe, params=params, stdin=stdin,
                       trace_instructions=trace_instructions,
                       trace_data=trace_data)
-    stats = machine.run(max_instructions=max_instructions)
+    stats = machine.run(max_instructions=max_instructions,
+                        max_cycles=max_cycles)
     return stats, machine

@@ -84,3 +84,58 @@ def test_targets_listing(capsys):
 def test_unknown_target_rejected(hello_file):
     with pytest.raises(SystemExit):
         main(["run", "-t", "nonesuch", hello_file])
+
+
+SPIN = """
+int main() {
+    int i;
+    i = 1;
+    while (i) i = i + 2;
+    return 0;
+}
+"""
+
+
+def test_run_watchdog_exit_code_and_diagnostics(tmp_path, capsys):
+    src = tmp_path / "spin.mc"
+    src.write_text(SPIN)
+    code = main(["run", "-t", "d16", "--max-instructions", "20000",
+                 str(src)])
+    assert code == 124
+    err = capsys.readouterr().err
+    assert "watchdog stopped the program" in err
+    assert "pc=0x" in err and "instructions=" in err
+    assert "--max-instructions" in err
+
+
+def test_run_cycle_watchdog(tmp_path, capsys):
+    src = tmp_path / "spin.mc"
+    src.write_text(SPIN)
+    assert main(["run", "-t", "dlxe", "--max-cycles", "20000",
+                 str(src)]) == 124
+    assert "cycle limit" in capsys.readouterr().err
+
+
+def test_faults_campaign_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main(["faults", "ackermann", "-n", "3", "--seed", "4",
+                 "--kinds", "reg,trap", "-o", str(out)])
+    assert code == 0
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["schema_version"] == 1
+    assert report["fault_kinds"] == ["reg", "trap"]
+    assert {cell["target"] for cell in report["cells"]} == {"d16", "dlxe"}
+    err = capsys.readouterr().err
+    assert "2 cells" in err and "seed 4" in err
+
+
+def test_faults_rejects_unknown_kind(capsys):
+    assert main(["faults", "ackermann", "--kinds", "cosmic"]) == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_faults_rejects_unknown_benchmark():
+    with pytest.raises(KeyError):
+        main(["faults", "fortnite"])

@@ -308,10 +308,70 @@ class TestGuards:
                     D16)
 
     def test_instruction_limit(self):
-        from repro.machine import Machine
+        from repro.machine import Machine, MachineTimeout
+        from repro.asm import assemble, link
+
+        # Two-instruction loop: invisible to the no-progress detector,
+        # so only the instruction-fuel watchdog can stop it.
+        exe = link([assemble(
+            HEADER + "spin: mvi r3, 1\nbr spin\n", D16)])
+        machine = Machine(exe)
+        with pytest.raises(MachineTimeout, match="limit") as info:
+            machine.run(max_instructions=1000)
+        assert info.value.executed == 1001
+        assert info.value.last_trap is None
+        assert machine.instructions_executed == 1001
+
+    def test_self_branch_detected_as_no_progress(self):
+        from repro.machine import Machine, MachineTimeout
         from repro.asm import assemble, link
 
         exe = link([assemble(HEADER + "spin: br spin\n", D16)])
         machine = Machine(exe)
-        with pytest.raises(MachineError, match="limit"):
-            machine.run(max_instructions=1000)
+        with pytest.raises(MachineTimeout, match="no-progress") as info:
+            machine.run()
+        assert info.value.pc == machine.pc
+        # Detected on the first execution, not after burning fuel.
+        assert info.value.executed == 1
+
+    def test_cycle_limit(self):
+        from repro.machine import Machine, MachineTimeout
+        from repro.asm import assemble, link
+
+        exe = link([assemble(
+            HEADER + "spin: mvi r3, 1\nbr spin\n", D16)])
+        with pytest.raises(MachineTimeout, match="cycle limit"):
+            Machine(exe).run(max_cycles=500)
+
+    def test_timeout_pickles_across_process_boundary(self):
+        import pickle
+
+        from repro.machine import MachineTimeout
+
+        err = MachineTimeout("exceeded instruction limit 5",
+                             pc=0x1234, executed=6, cycles=9, last_trap=1)
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.pc, clone.executed, clone.cycles, clone.last_trap) \
+            == (0x1234, 6, 9, 1)
+        assert "pc=0x1234" in str(clone)
+
+    def test_stop_after_pause_and_resume(self):
+        from repro.machine import Machine
+        from repro.asm import assemble, link
+
+        body = "mvi r2, 0\nmvi r0, 5\nloop: add r2, r2, r0\n" \
+               "subi r0, r0, 1\nbnz r0, loop\n"
+        exe = link([assemble(HEADER + body + FOOTER, D16)])
+        golden = Machine(exe)
+        full = golden.run()
+
+        machine = Machine(exe)
+        part = machine.run(stop_after=4)
+        assert not machine.halted
+        assert part.instructions == 4
+        resumed = machine.run()
+        assert machine.halted
+        assert resumed.instructions == full.instructions
+        assert resumed.interlocks == full.interlocks
+        assert resumed.ifetch_words == full.ifetch_words
+        assert machine.g[2] == golden.g[2]

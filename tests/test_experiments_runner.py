@@ -1,9 +1,13 @@
 """Experiment runner infrastructure."""
 
+import time
+
 import pytest
 
-from repro.experiments import Lab, default_programs, geomean, mean
-from repro.experiments.runner import MAIN_TARGETS, PAPER_TARGETS
+from repro.bench import Benchmark, register_benchmark
+from repro.experiments import Lab, RunError, default_programs, geomean, mean
+from repro.experiments.runner import (ExperimentError, MAIN_TARGETS,
+                                      PAPER_TARGETS)
 
 
 class TestHelpers:
@@ -102,3 +106,130 @@ class TestParallelGrid:
         lab = Lab(cache=False)
         with pytest.raises(KeyError):
             lab.runs(("ackermann", "fortnite"), MAIN_TARGETS, jobs=2)
+
+
+SPIN_SOURCE = """
+int main() {
+    int i;
+    i = 1;
+    while (i) i = i + 2;
+    return 0;
+}
+"""
+
+#: Output never matches its expected marker -> deterministic failure.
+BAD_SOURCE = "int main() { puti(7); return 0; }"
+
+
+@pytest.fixture(scope="module")
+def failsoft_benchmarks():
+    register_benchmark(Benchmark(
+        "fs-spin", "never terminates (fail-soft fixture)",
+        ("unreachable",), inline_source=SPIN_SOURCE))
+    register_benchmark(Benchmark(
+        "fs-bad", "always miscompares (fail-soft fixture)",
+        ("impossible-marker",), inline_source=BAD_SOURCE))
+    return ("fs-spin", "fs-bad")
+
+
+class TestFailSoftGrid:
+    """A failing cell yields a typed record; the rest still completes."""
+
+    def test_sequential_partial_collects_error_cells(
+            self, failsoft_benchmarks):
+        lab = Lab(cache=False)
+        grid = lab.runs(("ackermann", "fs-bad"), ("d16",), partial=True)
+        err = grid["fs-bad"]["d16"]
+        assert isinstance(err, RunError)
+        assert err.kind == "error" and not err.ok
+        assert "ExperimentError" in err.message
+        assert grid["ackermann"]["d16"].stats.instructions > 0
+
+    def test_worker_raise_yields_error_cell(self, failsoft_benchmarks,
+                                            tmp_path):
+        """A deterministic in-worker failure must not kill the sweep."""
+        lab = Lab(cache=tmp_path / "cache")
+        grid = lab.runs(("ackermann", "fs-bad"), MAIN_TARGETS, jobs=2,
+                        partial=True)
+        for target in MAIN_TARGETS:
+            err = grid["fs-bad"][target]
+            assert isinstance(err, RunError)
+            assert err.kind == "error" and err.attempts == 1
+            assert grid["ackermann"][target].stats.instructions > 0
+
+    def test_hung_benchmark_detected_by_watchdog(self, failsoft_benchmarks,
+                                                 tmp_path):
+        """A simulated hang trips the instruction fuel, not the clock."""
+        lab = Lab(cache=tmp_path / "cache", max_instructions=2_000_000)
+        grid = lab.runs(("ackermann", "fs-spin"), MAIN_TARGETS, jobs=2,
+                        partial=True)
+        for target in MAIN_TARGETS:
+            err = grid["fs-spin"][target]
+            assert isinstance(err, RunError)
+            assert err.kind == "error"
+            assert "MachineTimeout" in err.message
+            assert grid["ackermann"][target].stats.instructions > 0
+
+    def test_non_partial_raises_first_error_in_grid_order(
+            self, failsoft_benchmarks):
+        lab = Lab(cache=False, max_instructions=50_000)
+        with pytest.raises(ExperimentError, match="fs-spin/d16"):
+            lab.runs(("fs-spin", "fs-bad"), MAIN_TARGETS, jobs=2)
+
+    def test_wall_clock_timeout_abandons_cell(self, failsoft_benchmarks,
+                                              tmp_path, monkeypatch):
+        """A worker stuck outside the simulator is cut off by the
+        wall-clock ``cell_timeout`` while other cells complete.  The
+        stall is injected by delaying compilation of the marked
+        benchmark; the patched function reaches the pool workers via
+        fork.
+        """
+        import repro.experiments.runner as runner
+
+        real_build = runner.build_executable
+
+        def slow_build(source, target, **kwargs):
+            if "fs_wall_marker" in source:
+                time.sleep(8)
+            return real_build(source, target, **kwargs)
+
+        monkeypatch.setattr(runner, "build_executable", slow_build)
+        register_benchmark(Benchmark(
+            "fs-wall", "stalls outside the simulator", ("3",),
+            inline_source="int main() { int fs_wall_marker; "
+                          "puti(3); return 0; }"))
+        lab = Lab(cache=tmp_path / "cache", cell_timeout=1.5)
+        grid = lab.runs(("ackermann", "fs-wall"), ("d16",), jobs=2,
+                        partial=True)
+        err = grid["fs-wall"]["d16"]
+        assert isinstance(err, RunError)
+        assert err.kind == "timeout"
+        assert "abandoned" in err.message
+        assert grid["ackermann"]["d16"].stats.instructions > 0
+
+    def test_dead_worker_retried_then_reported(self, monkeypatch,
+                                               tmp_path):
+        """Worker-process death is retried, then typed worker-lost."""
+        import os
+
+        import repro.experiments.runner as runner
+
+        real_build = runner.build_executable
+
+        def dying_build(source, target, **kwargs):
+            if "fs_die_marker" in source:
+                os._exit(13)
+            return real_build(source, target, **kwargs)
+
+        monkeypatch.setattr(runner, "build_executable", dying_build)
+        register_benchmark(Benchmark(
+            "fs-die", "kills its worker process", ("5",),
+            inline_source="int main() { int fs_die_marker; "
+                          "puti(5); return 0; }"))
+        lab = Lab(cache=tmp_path / "cache", retries=1, retry_backoff=0.0)
+        grid = lab.runs(("fs-die",), MAIN_TARGETS, jobs=2, partial=True)
+        for target in MAIN_TARGETS:
+            err = grid["fs-die"][target]
+            assert isinstance(err, RunError)
+            assert err.kind == "worker-lost"
+            assert err.attempts == 2       # first try + one retry

@@ -96,8 +96,40 @@ class TestStore:
     def test_unpicklable_garbage_is_a_miss(self, cache):
         key = cache.make_key("exe", {})
         cache._path(key).parent.mkdir(parents=True, exist_ok=True)
-        cache._path(key).write_bytes(zlib.compress(b"\x80\x05garbage"))
+        body = zlib.compress(b"\x80\x05garbage")
+        digest = __import__("hashlib").sha256(body).digest()
+        cache._path(key).write_bytes(digest + body)
         assert cache.get(key) is None
+
+    def test_single_flipped_bit_caught_by_digest(self, cache):
+        """Corruption is detected before unpickling, via the digest."""
+        key = cache.make_key("exe", {})
+        cache.put(key, {"payload": list(range(100))})
+        path = cache._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0x01               # one bit, deep in the body
+        path.write_bytes(bytes(blob))
+        assert cache.get(key) is None
+        assert not path.exists()       # evicted, ready to rebuild
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, cache):
+        key = cache.make_key("exe", {})
+        cache.put(key, "payload")
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])   # shorter than digest
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_eviction_is_logged(self, cache, caplog):
+        import logging
+
+        key = cache.make_key("exe", {})
+        cache.put(key, "payload")
+        cache._path(key).write_bytes(b"junk" * 20)
+        with caplog.at_level(logging.WARNING, logger="repro.labcache"):
+            assert cache.get(key) is None
+        assert any("evicting corrupt cache entry" in rec.message
+                   for rec in caplog.records)
 
     def test_disabled_cache_stores_nothing(self, tmp_path):
         cache = ArtifactCache(tmp_path, enabled=False)
@@ -192,6 +224,26 @@ class TestLabPersistence:
         fresh = Lab(cache=ArtifactCache(root))
         with pytest.raises(ExperimentError):
             fresh.run("ackermann", "d16")
+
+    def test_truncated_artifact_is_rebuilt_by_lab(self, tmp_path):
+        """On-disk damage must heal: evict, recompile, re-store."""
+        root = tmp_path / "cache"
+        cold = Lab(cache=ArtifactCache(root))
+        first = cold.run("ackermann", "d16")
+        # Truncate every stored artifact mid-body.
+        damaged = 0
+        for path in (root / "v2").rglob("*.bin"):
+            path.write_bytes(path.read_bytes()[:40])
+            damaged += 1
+        assert damaged >= 2                 # exe + run artifacts
+        healed = Lab(cache=ArtifactCache(root))
+        second = healed.run("ackermann", "d16")
+        assert healed.cache.misses >= 1 and healed.cache.hits == 0
+        assert second.stats == first.stats
+        # The damaged entries were replaced with good ones.
+        fresh = Lab(cache=ArtifactCache(root))
+        assert fresh.run("ackermann", "d16").stats == first.stats
+        assert fresh.cache.hits >= 1 and fresh.cache.misses == 0
 
     def test_different_params_do_not_share_runs(self, tmp_path):
         """New pipeline params miss the run cache but share the exe."""

@@ -49,3 +49,63 @@ def test_unknown_trap():
     handler = TrapHandler()
     with pytest.raises(TrapError):
         handler.handle(99, 0)
+
+
+class TestFailSoft:
+    """Regression tests for hostile inputs (fault-injection hardening)."""
+
+    def test_repeated_getc_at_eof_stays_eof(self):
+        handler = TrapHandler(stdin=b"x")
+        assert handler.handle(TRAP_GETC, 0) == ord("x")
+        for _ in range(5):
+            assert handler.handle(TRAP_GETC, 0) == 0xFFFFFFFF
+
+    def test_putc_non_ascii_byte(self):
+        handler = TrapHandler()
+        handler.handle(TRAP_PUTC, 0xFF)
+        handler.handle(TRAP_PUTC, 0x80)
+        assert handler.stdout == b"\xff\x80"
+        assert handler.output_text == "\xff\x80"   # latin-1, lossless
+
+    def test_exit_code_masked_to_byte(self):
+        handler = TrapHandler()
+        handler.handle(TRAP_EXIT, 0x1FF)
+        assert handler.exit_code == 0xFF
+        handler = TrapHandler()
+        handler.handle(TRAP_EXIT, 256)
+        assert handler.exit_code == 0
+
+    def test_sbrk_negative_shrinks_but_clamps_at_heap_base(self):
+        handler = TrapHandler(heap_base=0x4000, heap_limit=0x8000)
+        handler.handle(TRAP_SBRK, 0x100)
+        assert handler.brk == 0x4100
+        # Raw 32-bit register value for -0x80 shrinks the heap...
+        handler.handle(TRAP_SBRK, (-0x80) & 0xFFFFFFFF)
+        assert handler.brk == 0x4080
+        # ...but a huge (corrupt) shrink clamps at heap_base, never
+        # handing the program the data segment below it.
+        handler.handle(TRAP_SBRK, (-0x100000) & 0xFFFFFFFF)
+        assert handler.brk == 0x4000
+
+    def test_trap_error_carries_code_and_pc(self):
+        handler = TrapHandler()
+        with pytest.raises(TrapError) as info:
+            handler.handle(42, 0, pc=0x1F00)
+        assert info.value.code == 42
+        assert info.value.pc == 0x1F00
+        assert "pc=0x1f00" in str(info.value)
+
+    def test_trap_error_pickles(self):
+        import pickle
+
+        err = TrapError(42, pc=0x1F00)
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.code, clone.pc) == (42, 0x1F00)
+
+    def test_last_trap_is_tracked(self):
+        handler = TrapHandler(stdin=b"a")
+        assert handler.last_trap is None
+        handler.handle(TRAP_GETC, 0)
+        assert handler.last_trap == TRAP_GETC
+        handler.handle(TRAP_PUTC, 65)
+        assert handler.last_trap == TRAP_PUTC
