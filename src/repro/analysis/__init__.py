@@ -1,6 +1,6 @@
 """Static analysis: IR verifier, linter, abstract interpreter, timing.
 
-Five layers keep the density/path-length experiments honest:
+Several layers keep the density/path-length experiments honest:
 
 * :mod:`~repro.analysis.irverify` — compiler IR invariants (CFG shape,
   def-before-use dataflow, register classes, stack slots), also run
@@ -13,7 +13,13 @@ Five layers keep the density/path-length experiments honest:
   analysis behind the ABS rules and the per-function summaries;
 * :mod:`~repro.analysis.timing` — static per-block cycle/stall bounds
   from the shared pipeline model, cross-validated against the
-  simulator (TIM rules);
+  simulator (TIM001/TIM002);
+* :mod:`~repro.analysis.loops` + :mod:`~repro.analysis.wcet` —
+  dominator-based loop recovery, loop-bound inference over a symbolic
+  one-iteration domain, and interprocedural [BCET, WCET] composition
+  bracketing whole runs (LOOP001, TIM003-005);
+* :mod:`~repro.analysis.density` — static D16-compressibility
+  estimate of DLXe images, instruction by instruction (DEN001);
 * :mod:`~repro.analysis.xisa` — cross-ISA consistency of the same
   source compiled for D16 and DLXe (XISA rules);
 
@@ -25,31 +31,43 @@ from .absint import (AnalysisResult, FunctionSummary, Interval, SPRel,
                      ValueDomain, analyze_executable, resolve_cfg, solve)
 from .binlint import lint_assembly, lint_executable
 from .cfg import BasicBlock, BinaryCFG, build_cfg
+from .density import (FunctionDensity, ProgramDensity, analyze_density,
+                      estimate_halfwords, fused_constant_pair)
 from .driver import (DEFAULT_TARGETS, EXIT_ERRORS, EXIT_INTERNAL,
-                     EXIT_OK, LintReport, cross_isa_suite, exit_code,
-                     lint_program, lint_suite, timing_program,
-                     timing_suite)
+                     EXIT_OK, LintReport, cross_isa_suite, density_suite,
+                     exit_code, lint_program, lint_suite, timing_program,
+                     timing_suite, wcet_program, wcet_suite)
 from .findings import (Finding, RULES, Rule, SCHEMA_VERSION, Severity,
                        finding, has_errors, render_json, render_text,
                        rule_doc_url, summarize)
 from .irverify import verify_function, verify_module
+from .loops import DomTree, Loop, LoopForest, dominator_tree, find_loops
 from .timing import (BlockBounds, StaticBounds, TimingValidation,
-                     block_stall_bounds, check_timing, static_bounds,
-                     validate_run)
+                     block_stall_bounds, check_timing, exit_seed,
+                     predecessor_seed, static_bounds, validate_run)
+from .wcet import (DEFAULT_SLACK, FunctionTiming, LoopBound, ProgramWcet,
+                   WcetValidation, analyze_wcet, check_wcet,
+                   infer_loop_bound, validate_wcet)
 from .xisa import (CrossIsaReport, analyze_source, check_cross_isa,
                    compare_analyses)
 
 __all__ = [
     "AnalysisResult", "BasicBlock", "BinaryCFG", "BlockBounds",
-    "CrossIsaReport", "DEFAULT_TARGETS", "EXIT_ERRORS", "EXIT_INTERNAL",
-    "EXIT_OK", "Finding", "FunctionSummary", "Interval", "LintReport",
-    "RULES", "Rule", "SCHEMA_VERSION", "SPRel", "Severity",
-    "StaticBounds", "TimingValidation", "ValueDomain",
-    "analyze_executable", "analyze_source", "block_stall_bounds",
-    "build_cfg", "check_cross_isa", "check_timing", "compare_analyses",
-    "cross_isa_suite", "exit_code", "finding", "has_errors",
+    "CrossIsaReport", "DEFAULT_SLACK", "DEFAULT_TARGETS", "DomTree",
+    "EXIT_ERRORS", "EXIT_INTERNAL", "EXIT_OK", "Finding",
+    "FunctionDensity", "FunctionSummary", "FunctionTiming", "Interval",
+    "LintReport", "Loop", "LoopBound", "LoopForest", "ProgramDensity",
+    "ProgramWcet", "RULES", "Rule", "SCHEMA_VERSION", "SPRel",
+    "Severity", "StaticBounds", "TimingValidation", "ValueDomain",
+    "WcetValidation", "analyze_density", "analyze_executable",
+    "analyze_source", "analyze_wcet", "block_stall_bounds", "build_cfg",
+    "check_cross_isa", "check_timing", "check_wcet", "compare_analyses",
+    "cross_isa_suite", "density_suite", "dominator_tree",
+    "estimate_halfwords", "exit_code", "exit_seed", "find_loops",
+    "finding", "fused_constant_pair", "has_errors", "infer_loop_bound",
     "lint_assembly", "lint_executable", "lint_program", "lint_suite",
-    "render_json", "render_text", "resolve_cfg", "rule_doc_url",
-    "solve", "static_bounds", "summarize", "timing_program",
-    "timing_suite", "validate_run", "verify_function", "verify_module",
+    "predecessor_seed", "render_json", "render_text", "resolve_cfg",
+    "rule_doc_url", "solve", "static_bounds", "summarize",
+    "timing_program", "timing_suite", "validate_run", "validate_wcet",
+    "verify_function", "verify_module", "wcet_program", "wcet_suite",
 ]

@@ -233,17 +233,24 @@ class ValueDomain:
     """
 
     def __init__(self, cfg: BinaryCFG, *, preserved: frozenset[int],
-                 gp_value: int | None = None):
+                 gp_value: int | None = None,
+                 entry_args: dict[int, Interval] | None = None):
         self.cfg = cfg
         self.zero_r0 = cfg.isa.name == "DLXe"
         self.preserved = preserved
         self.gp_value = gp_value
+        #: Interprocedural seed: proven intervals for the argument
+        #: registers at function entry (joined over every resolved call
+        #: site by the whole-program analysis in
+        #: :mod:`repro.analysis.wcet`).  Absent registers stay TOP.
+        self.entry_args = dict(entry_args or {})
         self.sp_conflicts: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------- lattice ops
 
     def entry_state(self) -> dict:
         state = {REG_SP: SPRel(0)}
+        state.update(self.entry_args)
         if self.gp_value is not None:
             state[REG_GP] = const(self.gp_value)
         if self.zero_r0:
@@ -512,6 +519,10 @@ class FunctionSummary:
     name: str
     start: int
     callees: list[str] = field(default_factory=list)   # site-address order
+    #: Every call site in address order: ``(pc, resolved target)`` with
+    #: ``None`` for targets the value analysis could not prove.  The
+    #: whole-program timing composer consumes this.
+    call_sites: list[tuple[int, int | None]] = field(default_factory=list)
     unresolved_calls: int = 0
     traps: list[int] = field(default_factory=list)     # codes, addr order
     return_values: list[object] = field(default_factory=list)
@@ -595,6 +606,7 @@ class _Reporter:
                 self.record_call(pc, target_value.lo)
             else:
                 self.summary.unresolved_calls += 1
+                self.summary.call_sites.append((pc, None))
         if instr.op == Op.J and instr.rs1 == REG_LINK:
             # The return idiom: close out the stack-height obligation.
             sp = state.get(REG_SP)
@@ -629,6 +641,7 @@ class _Reporter:
             self.result.resolved_targets.add(target)
 
     def record_call(self, pc: int, target: int) -> None:
+        self.summary.call_sites.append((pc, target))
         func = self.cfg.func_of(target)
         if func is not None and func[0] == target:
             self.summary.callees.append(func[1])

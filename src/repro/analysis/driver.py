@@ -5,11 +5,13 @@ IR verification between optimizer passes, assembly-level encoding
 checks, binary-level lint, and abstract interpretation of the linked
 image — and returns the accumulated findings.  :func:`lint_suite` fans
 that out over benchmark programs and targets, producing one
-:class:`LintReport` per cell.  :func:`timing_suite` and
-:func:`cross_isa_suite` run the semantic modes behind
-``repro lint --timing`` / ``--cross-isa``: static cycle-bound
-cross-validation against the simulator, and D16-vs-DLXe consistency
-checking.
+:class:`LintReport` per cell.  :func:`timing_suite`,
+:func:`wcet_suite`, :func:`density_suite`, and :func:`cross_isa_suite`
+run the semantic modes behind ``repro lint --timing`` / ``--wcet`` /
+``--density`` / ``--cross-isa``: static cycle-bound cross-validation
+against the simulator, whole-program [BCET, WCET] interval
+composition, D16-compressibility estimation of DLXe images, and
+D16-vs-DLXe consistency checking.
 
 Exit-code semantics (:func:`exit_code`): ``0`` when every finding is a
 warning or less, ``1`` when any error-severity finding exists, ``2``
@@ -30,13 +32,16 @@ from ..cc.irgen import lower_program
 from ..cc.opt import PassVerificationError, optimize_module
 from ..cc.parser import parse
 from ..cc.runtime import RUNTIME_SOURCE
-from .absint import analyze_executable
+from .absint import analyze_executable, resolve_cfg
 from .binlint import lint_assembly, lint_executable
 from .cfg import build_cfg
+from .density import ProgramDensity, analyze_density
 from .findings import Finding, finding, has_errors
 from .irverify import verify_module
 from .timing import (TimingValidation, check_timing, static_bounds,
                      validate_run)
+from .wcet import (DEFAULT_SLACK, WcetValidation, _promote_direct_calls,
+                   analyze_wcet, validate_wcet)
 from .xisa import check_cross_isa
 
 #: The two headline machines, linted by default.
@@ -206,6 +211,100 @@ def timing_suite(targets: Iterable[str] = DEFAULT_TARGETS,
             reports.append(LintReport(program=name, target=target_name,
                                       findings=validation.findings))
     return reports, validations
+
+
+def wcet_program(source: str, target: TargetSpec | str, *,
+                 opt_level: int = 2,
+                 include_runtime: bool = True,
+                 params=None,
+                 slack: float | None = DEFAULT_SLACK) -> WcetValidation:
+    """Compile, simulate, and bracket one program's cycle count with
+    the whole-program static interval: loop recovery, bound inference,
+    and interprocedural [BCET, WCET] composition (TIM003 when the
+    simulated cycles escape the interval, LOOP001/TIM004/TIM005 for
+    the soundness caveats)."""
+    from ..machine import run_executable
+
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    module = lower_program(parse(full_source))
+    optimize_module(module, level=opt_level)
+    assembly = generate_assembly(module, target, schedule=opt_level >= 1)
+    obj = Assembler(target.isa).assemble(assembly)
+    exe = link([obj])
+    symbols = {sym.name: exe.text_base + sym.value
+               for sym in obj.symbols.values() if sym.section == "text"}
+    stats, _machine = run_executable(exe, params=params)
+    program = analyze_wcet(exe, target.isa, model=params, symbols=symbols,
+                           target=target)
+    return validate_wcet(program, stats, slack=slack)
+
+
+def wcet_suite(targets: Iterable[str] = DEFAULT_TARGETS,
+               programs: Iterable[str] | None = None, *,
+               params=None, lab=None,
+               slack: float | None = DEFAULT_SLACK,
+               ) -> tuple[list[LintReport], dict]:
+    """Bracket every benchmark cell with the whole-program interval.
+
+    Returns ``(reports, validations)`` where ``validations`` maps
+    ``(program, target)`` to the :class:`WcetValidation` — the
+    per-function bound records and BCET ratios feed EXPERIMENTS.md and
+    the ``--json`` report.
+    """
+    from ..experiments.runner import Lab
+
+    lab = lab or Lab(params=params)
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    targets = tuple(targets)
+    reports: list[LintReport] = []
+    validations: dict[tuple[str, str], WcetValidation] = {}
+    for name in names:
+        for target_name in targets:
+            target = get_target(target_name)
+            exe = lab.executable(name, target_name)
+            run = lab.run(name, target_name)
+            program = analyze_wcet(exe, target.isa, model=lab.params,
+                                   target=target)
+            validation = validate_wcet(program, run.stats, slack=slack)
+            validations[(name, target_name)] = validation
+            reports.append(LintReport(program=name, target=target_name,
+                                      findings=validation.findings))
+    return reports, validations
+
+
+def density_suite(programs: Iterable[str] | None = None, *,
+                  target: str = "dlxe", lab=None,
+                  ) -> tuple[list[LintReport], dict]:
+    """Estimate D16 compressibility of every DLXe benchmark image.
+
+    Returns ``(reports, densities)`` where ``densities`` maps the
+    program name to its :class:`ProgramDensity`.  Density is a
+    property of the 32-bit encoding, so the suite runs one target
+    (DLXe by default); reports carry the DEN001 INFO findings.
+    """
+    from ..experiments.runner import Lab
+
+    lab = lab or Lab()
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    reports: list[LintReport] = []
+    densities: dict[str, ProgramDensity] = {}
+    for name in names:
+        exe = lab.executable(name, target)
+        cfg, result = resolve_cfg(exe, get_target(target).isa)
+        # Promote jld targets to function roots so the per-function
+        # records do not fold the whole DLXe image into _start.
+        cfg, _result = _promote_direct_calls(cfg, None, get_target(target),
+                                             result)
+        density = analyze_density(cfg)
+        densities[name] = density
+        reports.append(LintReport(program=name, target=target,
+                                  findings=density.findings))
+    return reports, densities
 
 
 def cross_isa_suite(programs: Iterable[str] | None = None, *,

@@ -66,6 +66,18 @@ RULES: dict[str, Rule] = {r.id: r for r in (
                                    "bounds"),
     Rule("TIM002", Severity.WARNING, "execution profile not covered "
                                      "by the static CFG"),
+    # Whole-program cycle bounds (repro.analysis.loops / wcet)
+    Rule("LOOP001", Severity.WARNING, "loop bound not provable "
+                                      "(unbounded or irreducible)"),
+    Rule("TIM003", Severity.ERROR, "simulated cycles escape the static "
+                                   "whole-program interval"),
+    Rule("TIM004", Severity.WARNING, "call-graph recursion blocks "
+                                     "worst-case composition"),
+    Rule("TIM005", Severity.WARNING, "whole-program interval wider "
+                                     "than the slack factor"),
+    # Static code density (repro.analysis.density)
+    Rule("DEN001", Severity.INFO, "adjacent DLXe pair encodable as "
+                                  "one D16 instruction"),
     # Cross-ISA consistency (repro.analysis.xisa)
     Rule("XISA001", Severity.ERROR, "call-graph shape differs "
                                     "between ISAs"),
@@ -77,7 +89,11 @@ RULES: dict[str, Rule] = {r.id: r for r in (
 
 #: Version of the JSON report layout produced by :func:`render_json`.
 #: Bump on any backwards-incompatible change to the payload shape.
-SCHEMA_VERSION = 1
+#: Version 2 added the loop/WCET rules (LOOP001, TIM003-005, DEN001)
+#: to the ``rules`` metadata and the per-function ``bounds`` records
+#: emitted by ``repro lint --wcet --json``; docs/linting.md documents
+#: the migration.
+SCHEMA_VERSION = 2
 
 
 def rule_doc_url(rule_id: str) -> str:

@@ -20,8 +20,27 @@ The bounds exploit two facts about the hazard rules:
 So running the hazard model from the all-zero entry state lower-bounds
 the stalls of any real entry state, and running it from the
 everything-busy state (every register and the math unit exactly
-``max_result_latency`` away) upper-bounds them.  Aggregating with the
-simulator's per-site execution counts gives whole-run bounds::
+``max_result_latency`` away) upper-bounds them.  (Total stalls of a
+sequence equal ``final issue time - entry time - n``, and the final
+issue time is a max-plus — hence monotone — function of the entry
+readiness vector, so ordering entry states orders the totals.)
+
+The lower bound is additionally tightened with a **one-level
+predecessor lookback**: when every CFG predecessor ``p`` of a block
+provably leaves a register busy at its exit — its last writer sits
+``gap`` slots before ``p``'s end, and ``result latency - gap - 1``
+exceeds even the *upper* bound of the stalls ``p``'s tail suffix can
+insert — that guaranteed remaining latency seeds the block's
+lower-bound entry state.  Every execution enters via *some* static
+predecessor, so the block bound is the minimum over per-predecessor
+seeded runs; it collapses to the cold bound for function entries, call
+fall-throughs, and indirect-edge targets, where the real predecessor
+executes arbitrary code.  This recovers, e.g., the delayed-load
+interlock of a load sitting in a predecessor's final slot with its
+consumer at the block head.
+
+Aggregating with the simulator's per-site execution counts gives
+whole-run bounds::
 
     interlocks  in  [sum(count_b * lo_b),  sum(count_b * hi_b)]
     cycles      =   IC + interlocks        (zero-wait-state machine)
@@ -40,30 +59,144 @@ from dataclasses import dataclass, field
 
 from ..asm.objfile import Executable
 from ..isa import IsaSpec
-from ..machine.pipeline import HazardModel, PipelineModel
+from ..machine.pipeline import HazardModel, PipelineModel, hazard_indices
 from ..machine.stats import RunStats
 from .cfg import BinaryCFG, build_cfg
 from .findings import Finding, finding
 
+#: Entry seed for a block's lower-bound run: guaranteed remaining
+#: latency per hazard index, plus the guaranteed remaining math-unit
+#: occupancy.  All values are relative to the block's first issue slot.
+EntrySeed = tuple[dict[int, int], int]
 
-def block_stall_bounds(instrs, model: PipelineModel) -> tuple[int, int]:
+_ZERO_SEED: EntrySeed = ({}, 0)
+
+
+def block_stall_bounds(instrs, model: PipelineModel,
+                       entry_seed: EntrySeed | None = None
+                       ) -> tuple[int, int]:
     """Provable [lo, hi] interlock stalls for one straight-line run.
 
     ``instrs`` is a sequence of ``(addr, Instr)`` pairs (a
     :class:`~repro.analysis.cfg.BasicBlock`'s body) or bare
-    instructions.
+    instructions.  ``entry_seed`` optionally tightens the lower bound
+    with latencies every real entry state provably still carries (see
+    :func:`predecessor_seed`); the upper bound is unaffected.
     """
     lo_model = HazardModel(model)
     hi_model = HazardModel(model)
     busy = model.max_result_latency
     hi_model.ready = [busy] * len(hi_model.ready)
     hi_model.math_free = busy
+    if entry_seed is not None:
+        seeds, math_seed = entry_seed
+        # The first instruction would issue at time+1 = 1, so a value
+        # that stays busy for k more slots is ready at absolute time
+        # 1 + k (stall k for a first-slot consumer, decaying after).
+        for index, remaining in seeds.items():
+            lo_model.ready[index] = 1 + remaining
+        if math_seed:
+            lo_model.math_free = 1 + math_seed
     lo = hi = 0
     for item in instrs:
         instr = item[1] if isinstance(item, tuple) else item
         lo += lo_model.issue(instr)
         hi += hi_model.issue(instr)
     return lo, hi
+
+
+def _suffix_stall_upper(instrs, start: int, model: PipelineModel) -> int:
+    """Upper bound on the stalls ``instrs[start:]`` can insert, from
+    the everything-busy state (sound for any real mid-block state)."""
+    hm = HazardModel(model)
+    busy = model.max_result_latency
+    hm.ready = [busy] * len(hm.ready)
+    hm.math_free = busy
+    return sum(hm.issue(item[1] if isinstance(item, tuple) else item)
+               for item in instrs[start:])
+
+
+def exit_seed(block, model: PipelineModel) -> EntrySeed:
+    """Latencies ``block`` itself guarantees at its exit boundary.
+
+    For the last writer of each hazard index, sitting ``gap`` slots
+    before the block's end with result latency ``lat``, the value is
+    still at least ``lat - gap - 1 - S`` slots from ready at the
+    successor's first issue slot, where ``S`` upper-bounds the stalls
+    the tail suffix can insert (stalls only *delay* the boundary,
+    shrinking the leftover).  Values written before the block (or
+    before the last writer) contribute nothing — they may already be
+    ready — so this is a sound componentwise lower bound on any real
+    exit state.  The math unit is handled identically via occupancy.
+    """
+    instrs = block.instrs
+    n = len(instrs)
+    seeds: dict[int, int] = {}
+    math_seed = 0
+    claimed: set[int] = set()
+    math_seen = False
+    sup_cache: dict[int, int] = {}
+
+    def sup(i: int) -> int:
+        if i not in sup_cache:
+            sup_cache[i] = _suffix_stall_upper(instrs, i, model)
+        return sup_cache[i]
+
+    window = min(n, model.max_result_latency + 1)
+    for j in range(n - 1, n - 1 - window, -1):
+        instr = instrs[j][1] if isinstance(instrs[j], tuple) else instrs[j]
+        gap = n - 1 - j
+        _reads, writes = hazard_indices(instr)
+        fresh = [idx for idx in writes if idx not in claimed]
+        claimed.update(writes)
+        if fresh:
+            rem = model.result_latency(instr.info) - gap - 1
+            if rem > 0:
+                rem -= sup(j + 1)
+            if rem > 0:
+                for idx in fresh:
+                    seeds[idx] = rem
+        if not math_seen:
+            occ = model.occupancy(instr.info)
+            if occ:
+                math_seen = True
+                m = occ - gap - 1
+                if m > 0:
+                    m -= sup(j + 1)
+                if m > 0:
+                    math_seed = m
+    return seeds, math_seed
+
+
+def predecessor_seed(preds: list, model: PipelineModel,
+                     cache: dict[int, EntrySeed] | None = None) -> EntrySeed:
+    """Componentwise minimum of the exit seeds of all predecessors.
+
+    ``preds`` holds the predecessor :class:`BasicBlock`s of one block.
+    A call or indirect predecessor contributes the zero seed (the real
+    dynamic predecessor — callee, return site, or unknown jump source
+    — executes arbitrary code first), as does an empty list (function
+    entries and other blocks the static CFG cannot see into).
+    """
+    combined: EntrySeed | None = None
+    for pred in preds:
+        if pred.is_call or pred.indirect:
+            return _ZERO_SEED
+        if cache is not None and pred.start in cache:
+            seed = cache[pred.start]
+        else:
+            seed = exit_seed(pred, model)
+            if cache is not None:
+                cache[pred.start] = seed
+        if combined is None:
+            combined = seed
+        else:
+            regs = {idx: min(v, seed[0][idx])
+                    for idx, v in combined[0].items() if idx in seed[0]}
+            combined = (regs, min(combined[1], seed[1]))
+        if not combined[0] and not combined[1]:
+            return _ZERO_SEED
+    return combined if combined is not None else _ZERO_SEED
 
 
 @dataclass(frozen=True)
@@ -105,16 +238,56 @@ class StaticBounds:
 
 def static_bounds(exe_or_cfg, isa: IsaSpec | None = None, *,
                   model: PipelineModel | None = None,
-                  symbols: dict[str, int] | None = None) -> StaticBounds:
-    """Compute per-block stall bounds for an image (or pre-built CFG)."""
+                  symbols: dict[str, int] | None = None,
+                  lookback: bool = True) -> StaticBounds:
+    """Compute per-block stall bounds for an image (or pre-built CFG).
+
+    With ``lookback`` (the default) each block's lower bound is seeded
+    from the guaranteed exit latencies of its CFG predecessors; pass
+    ``lookback=False`` for the plain cold-entry bound.
+    """
     if isinstance(exe_or_cfg, BinaryCFG):
         cfg = exe_or_cfg
     else:
         cfg = build_cfg(exe_or_cfg, isa, symbols=symbols)
     model = model or PipelineModel()
+
+    preds: dict[int, list] = {}
+    entry_points = {cfg.exe.entry} | {addr for addr, _name in cfg.funcs}
+    if lookback:
+        for start, block in cfg.blocks.items():
+            for succ in block.succs:
+                preds.setdefault(succ, []).append(block)
+
+    seed_cache: dict[int, EntrySeed] = {}
+
+    def pred_seeds(start: int) -> list[EntrySeed]:
+        """One seed per provable entry path, or [] if any path is
+        opaque (so only the cold bound is sound)."""
+        if start in entry_points:
+            return []
+        seeds = []
+        for pred in preds.get(start, []):
+            if pred.is_call or pred.indirect:
+                return []
+            if pred.start not in seed_cache:
+                seed_cache[pred.start] = exit_seed(pred, model)
+            seeds.append(seed_cache[pred.start])
+        return seeds
+
     blocks = {}
     for start, block in cfg.blocks.items():
         lo, hi = block_stall_bounds(block.instrs, model)
+        if lookback:
+            # Every execution of the block enters via *some* static
+            # predecessor, so the minimum over per-predecessor seeded
+            # runs is a sound (and tighter) lower bound than seeding
+            # with the componentwise-minimum vector.
+            seeds = [s for s in pred_seeds(start) if s != _ZERO_SEED]
+            if seeds and len(seeds) == len(preds.get(start, [])):
+                lo = min(block_stall_bounds(block.instrs, model,
+                                            entry_seed=s)[0]
+                         for s in seeds)
         blocks[start] = BlockBounds(start=start,
                                     n_instrs=len(block.instrs),
                                     stall_lo=lo, stall_hi=hi)

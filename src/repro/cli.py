@@ -128,6 +128,14 @@ def _lint(args) -> int:
         names.insert(0, file)
         file = None
     timing_validations = None
+    wcet_validations = None
+    densities = None
+    if args.wcet:
+        from .analysis import DEFAULT_SLACK
+
+        # --wcet-slack 0 disables TIM005; unset means the default factor.
+        args.wcet_slack = DEFAULT_SLACK if args.wcet_slack is None \
+            else (args.wcet_slack or None)
     if file:
         source = _read_source(file)
         reports = []
@@ -144,6 +152,29 @@ def _lint(args) -> int:
             timing_validations = {(file, args.target): validation}
             reports.append(LintReport(program=file, target=args.target,
                                       findings=validation.findings))
+        if args.wcet:
+            from .analysis import wcet_program
+
+            validation = wcet_program(
+                source, args.target, opt_level=args.opt,
+                include_runtime=not args.no_runtime,
+                slack=args.wcet_slack)
+            wcet_validations = {(file, args.target): validation}
+            reports.append(LintReport(program=file, target=args.target,
+                                      findings=validation.findings))
+        if args.density:
+            from .analysis import analyze_density, resolve_cfg
+            from .cc import get_target
+
+            built = build_executable(source, args.target,
+                                     include_runtime=not args.no_runtime,
+                                     opt_level=args.opt)
+            cfg, _result = resolve_cfg(built.executable,
+                                       get_target(args.target).isa)
+            density = analyze_density(cfg)
+            densities = {(file, args.target): density}
+            reports.append(LintReport(program=file, target=args.target,
+                                      findings=density.findings))
         if args.cross_isa:
             from .analysis import check_cross_isa
 
@@ -153,7 +184,8 @@ def _lint(args) -> int:
                                       target="+".join(xisa.targets),
                                       findings=xisa.findings))
     else:
-        from .analysis import cross_isa_suite, lint_suite, timing_suite
+        from .analysis import (cross_isa_suite, density_suite, lint_suite,
+                               timing_suite, wcet_suite)
 
         targets = args.targets.split(",")
         reports = lint_suite(targets, names or None, opt_level=args.opt)
@@ -161,6 +193,17 @@ def _lint(args) -> int:
             timing_reports, timing_validations = timing_suite(
                 targets, names or None)
             reports.extend(timing_reports)
+        if args.wcet:
+            wcet_reports, wcet_validations = wcet_suite(
+                targets, names or None, slack=args.wcet_slack)
+            reports.extend(wcet_reports)
+        if args.density:
+            density_target = "dlxe" if "dlxe" in targets else targets[0]
+            density_reports, suite_densities = density_suite(
+                names or None, target=density_target)
+            densities = {(prog, density_target): d
+                         for prog, d in suite_densities.items()}
+            reports.extend(density_reports)
         if args.cross_isa:
             if len(targets) != 2:
                 raise ValueError(
@@ -172,10 +215,30 @@ def _lint(args) -> int:
 
     all_findings = [f for r in reports for f in r.findings]
     if args.json:
+        extra = {}
+        if wcet_validations:
+            extra["bounds"] = [
+                {"program": prog, "target": tname,
+                 "observed_cycles": wv.observed_cycles,
+                 "bcet": wv.bcet, "wcet": wv.wcet,
+                 "loops_bounded": wv.program.bounded_loops,
+                 "loops_total": wv.program.n_loops,
+                 "functions": wv.program.function_records()}
+                for (prog, tname), wv in sorted(wcet_validations.items())]
+        if densities:
+            extra["density"] = [
+                {"program": prog, "target": tname,
+                 "dlxe_bytes": d.dlxe_bytes,
+                 "est_d16_bytes": d.est_d16_bytes,
+                 "fused_pairs": d.fused_pairs,
+                 "ratio": round(d.ratio, 4),
+                 "functions": d.function_records()}
+                for (prog, tname), d in sorted(densities.items())]
         print(render_json(
             all_findings,
             programs=sorted({r.program for r in reports}),
-            targets=sorted({r.target for r in reports})))
+            targets=sorted({r.target for r in reports}),
+            **extra))
     else:
         for report in reports:
             if report.findings:
@@ -198,6 +261,20 @@ def _lint(args) -> int:
                       f"{tv.interlocks_observed}  "
                       f"[{tv.interlock_lo}, {tv.interlock_hi}]  "
                       f"{tv.tightness:.3f}")
+        if args.stats and wcet_validations:
+            print("wcet: program/target  cycles  [BCET, WCET]  "
+                  "loops bounded/total")
+            for (prog, tname), wv in sorted(wcet_validations.items()):
+                wcet = wv.wcet if wv.wcet is not None else "unbounded"
+                print(f"wcet: {prog}/{tname}  {wv.observed_cycles}  "
+                      f"[{wv.bcet}, {wcet}]  "
+                      f"{wv.program.bounded_loops}/{wv.program.n_loops}")
+        if args.stats and densities:
+            print("density: program/target  dlxe bytes  est d16 bytes  "
+                  "ratio  fused pairs")
+            for (prog, tname), d in sorted(densities.items()):
+                print(f"density: {prog}/{tname}  {d.dlxe_bytes}  "
+                      f"{d.est_d16_bytes}  {d.ratio:.3f}  {d.fused_pairs}")
     return exit_code(reports)
 
 
@@ -344,6 +421,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timing", action="store_true",
                    help="cross-validate static cycle bounds against the "
                         "simulator (TIM rules)")
+    p.add_argument("--wcet", action="store_true",
+                   help="bracket simulated cycles with the whole-program "
+                        "static [BCET, WCET] interval (LOOP/TIM rules)")
+    p.add_argument("--wcet-slack", type=float, default=None,
+                   metavar="FACTOR",
+                   help="TIM005 when the finite interval is wider than "
+                        "FACTOR x the observed cycles (default: 8.0; "
+                        "pass 0 to disable)")
+    p.add_argument("--density", action="store_true",
+                   help="estimate D16 compressibility of the 32-bit "
+                        "image (DEN rules)")
     p.add_argument("--cross-isa", action="store_true",
                    help="compare per-function facts between the two "
                         "targets (XISA rules)")

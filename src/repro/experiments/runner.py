@@ -113,7 +113,11 @@ class Lab:
     miscompile.  ``validate_timing`` checks every simulated run against
     the static cycle bounds of :mod:`repro.analysis.timing` and raises
     when the observed interlocks escape them — a self-check tying the
-    experiment numbers to the machine model.
+    experiment numbers to the machine model.  ``validate_wcet`` does
+    the same with the *whole-program* [BCET, WCET] interval of
+    :mod:`repro.analysis.wcet`, raising only on TIM003 (cycle counts
+    escaping the interval); the warning-level LOOP001/TIM004/TIM005
+    soundness caveats are expected on real programs and ignored here.
 
     Fail-soft knobs: ``max_instructions`` is the simulator watchdog
     fuel per run (a hung benchmark raises
@@ -130,6 +134,7 @@ class Lab:
                  cache=None, jobs: int = 1,
                  preflight_lint: bool = False,
                  validate_timing: bool = False,
+                 validate_wcet: bool = False,
                  max_instructions: int = DEFAULT_FUEL,
                  cell_timeout: float | None = None,
                  retries: int = 1,
@@ -140,12 +145,14 @@ class Lab:
         self.jobs = max(1, int(jobs))
         self.preflight_lint = preflight_lint
         self.validate_timing = validate_timing
+        self.validate_wcet = validate_wcet
         self.max_instructions = max_instructions
         self.cell_timeout = cell_timeout
         self.retries = max(0, int(retries))
         self.retry_backoff = retry_backoff
         self._linted: set[tuple[str, str]] = set()
         self._timing_checked: set[tuple[str, str]] = set()
+        self._wcet_checked: set[tuple[str, str]] = set()
         self._runs: dict[tuple[str, str], ProgramRun] = {}
         self._traces: dict[tuple[str, str], TraceRun] = {}
         self._executables: dict[tuple[str, str], object] = {}
@@ -241,6 +248,7 @@ class Lab:
                          binary_size=payload["binary_size"],
                          text_size=payload["text_size"])
         self._validate_timing(bench, target_name, run.stats)
+        self._validate_wcet(bench, target_name, run.stats)
         self._runs[key] = run
         return run
 
@@ -260,6 +268,26 @@ class Lab:
                 f"cycle-bound cross-check:\n"
                 f"{render_text(validation.findings)}")
         self._timing_checked.add(key)
+
+    def _validate_wcet(self, bench: Benchmark, target_name: str,
+                       stats: RunStats) -> None:
+        key = (bench.name, target_name)
+        if not self.validate_wcet or key in self._wcet_checked:
+            return
+        from ..analysis import check_wcet, render_text
+        from ..analysis.findings import Severity
+
+        exe = self.executable(bench.name, target_name)
+        validation = check_wcet(exe, get_target(target_name).isa, stats,
+                                model=self.params,
+                                target=get_target(target_name))
+        errors = [f for f in validation.findings
+                  if f.severity == Severity.ERROR]
+        if errors:
+            raise ExperimentError(
+                f"{bench.name} on {target_name} escaped the static "
+                f"whole-program cycle interval:\n{render_text(errors)}")
+        self._wcet_checked.add(key)
 
     def check_consistency(self, bench_name: str,
                           targets: tuple[str, str] = MAIN_TARGETS):

@@ -434,7 +434,9 @@ class TestJsonSchema:
         payload = json.loads(render_json(
             [finding("ABS002", "text:0x1000", "seeded error"),
              finding("ABS004", "text:0x1004", "seeded warning")]))
-        assert SCHEMA_VERSION == 1
+        # v2 added the loop/WCET rules and the --wcet/--density JSON
+        # extras (docs/linting.md documents the migration).
+        assert SCHEMA_VERSION == 2
         assert payload["schema_version"] == SCHEMA_VERSION
         assert set(payload) >= {"schema_version", "findings", "summary",
                                 "rules"}
@@ -465,7 +467,7 @@ class TestJsonSchema:
 
         assert main(["lint", "ackermann", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
 
 
 class TestExitCodes:

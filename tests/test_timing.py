@@ -13,8 +13,9 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import (block_stall_bounds, check_timing,
-                            static_bounds, timing_program)
+from repro.analysis import (block_stall_bounds, check_timing, exit_seed,
+                            predecessor_seed, resolve_cfg, static_bounds,
+                            timing_program, validate_run)
 from repro.cc import get_target
 from repro.isa import DLXE, Instr, Op
 from repro.machine import run_executable
@@ -193,6 +194,93 @@ class TestValidateRun:
         bounds = static_bounds(_stalling_exe(), DLXE)
         text = bounds.describe()
         assert "blocks" in text and "stalls" in text
+
+
+# ------------------------------------------ predecessor lookback seeds
+
+
+def _pred_block(instrs, *, is_call=False, indirect=False, start=0x1000):
+    from types import SimpleNamespace
+
+    paired = [(start + 4 * i, ins) for i, ins in enumerate(instrs)]
+    return SimpleNamespace(start=start, instrs=paired,
+                           is_call=is_call, indirect=indirect)
+
+
+class TestLookbackSeeds:
+    def test_trailing_load_leaves_latency(self):
+        pred = _pred_block([Instr(op=Op.LD, rd=5, rs1=3, imm=0)])
+        seeds, math_seed = exit_seed(pred, MODEL)
+        assert seeds == {5: MODEL.load_delay}
+        assert math_seed == 0
+
+    def test_gap_decays_seed(self):
+        # One slot between the load and the boundary pays the delay off.
+        pred = _pred_block([Instr(op=Op.LD, rd=5, rs1=3, imm=0),
+                            Instr(op=Op.ADD, rd=6, rs1=7, rs2=7)])
+        seeds, math_seed = exit_seed(pred, MODEL)
+        assert seeds == {}
+        assert math_seed == 0
+
+    def test_possible_tail_stalls_consume_seed(self):
+        # The tail *may* stall (all-busy upper bound), so nothing about
+        # the mul result is guaranteed to remain at the boundary.
+        pred = _pred_block([Instr(op=Op.MUL, rd=5, rs1=6, rs2=7),
+                            Instr(op=Op.ADD, rd=8, rs1=5, rs2=5)])
+        seeds, math_seed = exit_seed(pred, MODEL)
+        assert 5 not in seeds
+        assert math_seed == 0
+
+    def test_math_unit_occupancy_seed(self):
+        pred = _pred_block([Instr(op=Op.MUL, rd=5, rs1=6, rs2=7)])
+        seeds, math_seed = exit_seed(pred, MODEL)
+        mul = Instr(op=Op.MUL, rd=5, rs1=6, rs2=7)
+        assert math_seed == MODEL.occupancy(mul.info) - 1
+        assert seeds[5] == MODEL.result_latency(mul.info) - 1
+
+    def test_seeded_run_recovers_cross_block_load_use(self):
+        pred = _pred_block([Instr(op=Op.LD, rd=5, rs1=3, imm=0)])
+        consumer = [Instr(op=Op.ADD, rd=6, rs1=5, rs2=5)]
+        assert block_stall_bounds(consumer, MODEL)[0] == 0
+        seeded_lo, hi = block_stall_bounds(
+            consumer, MODEL, entry_seed=exit_seed(pred, MODEL))
+        assert seeded_lo == MODEL.load_delay
+        assert hi >= seeded_lo
+
+    def test_predecessor_seed_takes_componentwise_min(self):
+        loading = _pred_block([Instr(op=Op.LD, rd=5, rs1=3, imm=0)])
+        moving = _pred_block([Instr(op=Op.MVI, rd=5, imm=1)],
+                             start=0x2000)
+        assert predecessor_seed([loading], MODEL) == \
+            ({5: MODEL.load_delay}, 0)
+        # A single-cycle writer guarantees nothing, so the combined
+        # seed collapses.
+        assert predecessor_seed([loading, moving], MODEL) == ({}, 0)
+
+    def test_call_and_indirect_predecessors_are_opaque(self):
+        body = [Instr(op=Op.LD, rd=5, rs1=3, imm=0)]
+        assert predecessor_seed(
+            [_pred_block(body, is_call=True)], MODEL) == ({}, 0)
+        assert predecessor_seed(
+            [_pred_block(body, indirect=True)], MODEL) == ({}, 0)
+
+    def test_lookback_tightens_soundly(self, isa_target):
+        from .conftest import compile_run
+
+        source = ("int main() { int i; int s; s = 0;"
+                  " for (i = 0; i < 8; i = i + 1) s = s + i * i;"
+                  " return s; }")
+        stats, _machine, result = compile_run(source, isa_target)
+        cfg, _res = resolve_cfg(result.executable,
+                                get_target(isa_target).isa)
+        cold = static_bounds(cfg, lookback=False)
+        warm = static_bounds(cfg)
+        for start, bb in warm.blocks.items():
+            assert bb.stall_lo >= cold.blocks[start].stall_lo
+            assert bb.stall_hi == cold.blocks[start].stall_hi
+        validation = validate_run(warm, stats)
+        assert _rules(validation.findings) == set()
+        assert validation.interlock_lo <= stats.interlocks
 
 
 # ----------------------------------------------- whole-program runs
