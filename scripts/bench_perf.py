@@ -7,10 +7,15 @@ Phases timed (see :mod:`repro.bench.timing`):
 * ``cache_sweep_multi``                 -- single-pass 1K-16K x 8-64B sweep;
 * ``cache_sweep_sequential``            -- the seed's per-config re-walk;
 * ``warm_compile`` / ``warm_run`` / ``warm_trace``
-                                        -- a fresh lab on the warm cache.
+                                        -- a fresh lab on the warm cache;
+* ``sim_suite_step`` / ``sim_suite_blocks``
+                                        -- the whole benchmark suite under
+                                           the per-instruction and the
+                                           block-compiled engine.
 
-``cacheperf_speedup`` records the sequential/single-pass ratio so the
-perf trajectory of the cache study is tracked across PRs.
+``cacheperf_speedup`` and ``sim_speedup`` record the corresponding
+ratios so the perf trajectory is tracked across PRs; CI enforces them
+via ``scripts/check_perf_budget.py``.
 
 Run:  PYTHONPATH=src python scripts/bench_perf.py [-o BENCH_repro.json]
 """
@@ -31,18 +36,29 @@ def main(argv=None) -> int:
     parser.add_argument("-t", "--target", default="d16")
     parser.add_argument("--no-sequential", action="store_true",
                         help="skip the slow sequential-sweep baseline")
+    parser.add_argument("--no-sim", action="store_true",
+                        help="skip the two-engine benchmark-suite timing")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
         report = time_phases(program=args.program, target=args.target,
                              sequential_baseline=not args.no_sequential,
+                             sim_engines=not args.no_sim,
                              cache_root=root)
     write_bench_json(report, args.output)
 
     for name, seconds in report["phases"].items():
         print(f"{name:24s} {seconds:8.3f}s")
-    if "cacheperf_speedup" in report:
-        print(f"{'cacheperf speedup':24s} {report['cacheperf_speedup']:8.2f}x")
+    for name in ("sim_suite_step", "sim_suite_blocks"):
+        if name in report:
+            print(f"{name:24s} {report[name]:8.3f}s")
+    for label, metric in (("cacheperf speedup", "cacheperf_speedup"),
+                          ("sim speedup", "sim_speedup")):
+        if metric in report:
+            print(f"{label:24s} {report[metric]:8.2f}x")
+    if report.get("sim_divergent"):
+        print(f"ENGINES DIVERGED: {report['sim_divergent']}")
+        return 1
     print(f"report written to {args.output}")
     return 0
 

@@ -99,6 +99,17 @@ class Executable:
         """(base, bytes) pairs to load into memory."""
         return [(self.text_base, self.text), (self.data_base, self.data)]
 
+    def __getstate__(self):
+        # The simulator parks its compiled-block code cache on the
+        # executable (shared by every Machine running this image); code
+        # objects don't pickle, so the cache stays behind when the exe
+        # crosses a process boundary (fault campaigns, the lab cache).
+        state = self.__dict__.copy()
+        state.pop("_block_code_cache", None)
+        state.pop("_decoded_text", None)
+        state.pop("_slot_meta_cache", None)
+        return state
+
     def symbol(self, name: str) -> int:
         try:
             return self.symbols[name]

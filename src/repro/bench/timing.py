@@ -1,11 +1,19 @@
 """Timing harness for the hot phases of the reproduction pipeline.
 
-:func:`time_phases` measures the four wall-clock-dominant phases --
+:func:`time_phases` measures the wall-clock-dominant phases --
 compile, run, trace, cache sweep -- plus the warm-artifact-cache rerun
-of each, and compares the single-pass multi-configuration cache sweep
-against the seed's sequential per-configuration sweep.  The result dict
-is what ``scripts/bench_perf.py`` serializes into ``BENCH_repro.json``,
-seeding the perf trajectory across PRs.
+of each, compares the single-pass multi-configuration cache sweep
+against the seed's sequential scalar per-configuration sweep, and (via
+:func:`time_sim_engines`) times the whole benchmark suite under both
+execution engines, verifying their statistics agree cell by cell.  The
+result dict is what ``scripts/bench_perf.py`` serializes into
+``BENCH_repro.json``; ``scripts/check_perf_budget.py`` compares a fresh
+report against the committed one in CI.
+
+Wall-clock seconds are machine-specific, so the cross-machine perf
+trajectory is carried by the *ratio* metrics (``sim_speedup``,
+``cacheperf_speedup``): both sides of each ratio run on the same
+machine in the same process.
 """
 
 from __future__ import annotations
@@ -13,14 +21,68 @@ from __future__ import annotations
 import json
 import time
 
-from ..cache import simulate_caches, simulate_caches_grid
+from ..cache import simulate_caches, simulate_caches_grid, use_vector
 
 BENCH_JSON = "BENCH_repro.json"
+
+
+def _stats_key(stats):
+    """Every RunStats field, for exact cross-engine comparison."""
+    return (stats.instructions, stats.loads, stats.stores,
+            stats.interlocks, stats.load_interlocks,
+            stats.math_interlocks, stats.ifetch_words,
+            stats.ifetch_dwords, stats.exit_code, stats.output,
+            tuple(stats.exec_counts))
+
+
+def time_sim_engines(*, targets=None, programs=None) -> dict:
+    """Time the benchmark-suite simulation under both execution engines.
+
+    Runs every (program, target) cell once per engine on freshly loaded
+    machines and cross-checks the full statistics of each cell, so the
+    recorded speedup is always a speedup of *equivalent* simulations
+    (``sim_divergent`` lists any cells that disagree; the perf-budget
+    check fails on a non-empty list).  The engines are timed
+    *interleaved per cell* -- step then blocks on each cell before
+    moving on -- so background noise on a shared runner lands on both
+    sides of the ratio instead of skewing one engine's whole phase.
+    """
+    from ..experiments import MAIN_TARGETS, Lab
+    from ..machine import run_executable
+    from .suite import SUITE
+
+    targets = tuple(targets) if targets is not None else MAIN_TARGETS
+    names = (tuple(programs) if programs is not None
+             else tuple(bench.name for bench in SUITE))
+    lab = Lab(cache=False)
+    cells = [(name, target, lab.executable(name, target))
+             for name in names for target in targets]
+
+    stats = {"step": [], "blocks": []}
+    seconds = {"step": 0.0, "blocks": 0.0}
+    for _, _, exe in cells:
+        for engine in ("step", "blocks"):
+            started = time.perf_counter()
+            run = run_executable(exe, engine=engine)[0]
+            seconds[engine] += time.perf_counter() - started
+            stats[engine].append(_stats_key(run))
+    divergent = [f"{name}/{target}"
+                 for (name, target, _), step_stats, block_stats
+                 in zip(cells, stats["step"], stats["blocks"])
+                 if step_stats != block_stats]
+    return {
+        "sim_cells": len(cells),
+        "sim_divergent": divergent,
+        "sim_suite_step": seconds["step"],
+        "sim_suite_blocks": seconds["blocks"],
+        "sim_speedup": seconds["step"] / seconds["blocks"],
+    }
 
 
 def time_phases(*, program: str = "assem", target: str = "d16",
                 sizes=None, blocks=None,
                 sequential_baseline: bool = True,
+                sim_engines: bool = True,
                 cache_root=None) -> dict:
     """Time each pipeline phase; returns a JSON-serializable report.
 
@@ -55,19 +117,40 @@ def time_phases(*, program: str = "assem", target: str = "d16",
     grid = clock("cache_sweep_multi", lambda: simulate_caches_grid(
         trace.itrace, trace.dtrace, trace.run.stats, configs))
     report = {
-        "schema": 1,
+        "schema": 2,
         "toolchain": toolchain_fingerprint(),
         "program": program,
         "target": target,
         "grid_configs": len(configs),
+        "cache_engine": "numpy" if use_vector() else "python",
         "phases": phases,
     }
+    if sim_engines:
+        report.update(time_sim_engines())
     if sequential_baseline:
-        sequential = clock("cache_sweep_sequential", lambda: {
-            config: simulate_caches(trace.itrace, trace.dtrace,
-                                    trace.run.stats, icache=config,
-                                    dcache=config)
-            for config in configs})
+        # The baseline is the *seed's* sweep: one scalar pure-Python
+        # cache walk per configuration.  Forcing the python engine
+        # keeps the ratio's meaning stable when numpy is installed --
+        # and makes the equality assertion below an oracle check of
+        # the vectorized grid against the scalar loops.
+        def scalar_sequential():
+            import os
+
+            from ..cache.vector import ENGINE_ENV
+            saved = os.environ.get(ENGINE_ENV)
+            os.environ[ENGINE_ENV] = "python"
+            try:
+                return {config: simulate_caches(
+                            trace.itrace, trace.dtrace, trace.run.stats,
+                            icache=config, dcache=config)
+                        for config in configs}
+            finally:
+                if saved is None:
+                    del os.environ[ENGINE_ENV]
+                else:
+                    os.environ[ENGINE_ENV] = saved
+
+        sequential = clock("cache_sweep_sequential", scalar_sequential)
         assert sequential == grid, \
             "single-pass sweep diverged from sequential sweep"
         report["cacheperf_speedup"] = (phases["cache_sweep_sequential"]

@@ -4,6 +4,9 @@ from .cache import Cache, CacheConfig
 from .hierarchy import (CacheRates, dedup_consecutive, simulate_caches,
                         simulate_caches_grid)
 from .multicache import MultiCache
+from .vector import HAVE_NUMPY, replay_reads, replay_tagged, use_vector
 
-__all__ = ["Cache", "CacheConfig", "CacheRates", "MultiCache",
-           "dedup_consecutive", "simulate_caches", "simulate_caches_grid"]
+__all__ = ["Cache", "CacheConfig", "CacheRates", "HAVE_NUMPY",
+           "MultiCache", "dedup_consecutive", "replay_reads",
+           "replay_tagged", "simulate_caches", "simulate_caches_grid",
+           "use_vector"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..machine.stats import RunStats
+from . import vector
 from .cache import Cache, CacheConfig
 from .multicache import MultiCache
 
@@ -67,11 +68,20 @@ def dedup_consecutive(addresses, mask: int = ~3):
 
 def simulate_caches(itrace, dtrace, stats: RunStats, *,
                     icache: CacheConfig, dcache: CacheConfig) -> CacheRates:
-    """Run recorded traces through split I/D caches."""
+    """Run recorded traces through split I/D caches.
+
+    Goes through the vectorized replay engine when numpy is available
+    (``REPRO_CACHE_ENGINE=python`` forces the scalar loops, which are
+    the oracle in the equivalence tests).
+    """
     icache_sim = Cache(icache)
     dcache_sim = Cache(dcache)
-    icache_sim.run_reads(dedup_consecutive(itrace))
-    dcache_sim.run_tagged(dtrace)
+    if vector.use_vector():
+        vector.replay_reads(icache_sim, itrace, dedup=True)
+        vector.replay_tagged(dcache_sim, dtrace)
+    else:
+        icache_sim.run_reads(dedup_consecutive(itrace))
+        dcache_sim.run_tagged(dtrace)
     return _rates(stats, icache_sim, dcache_sim)
 
 
@@ -94,11 +104,24 @@ def simulate_caches_grid(itrace, dtrace, stats: RunStats,
     """Run traces through a whole grid of geometries in one pass each.
 
     Equivalent to calling :func:`simulate_caches` once per config (same
-    geometry for the I- and D-cache, the paper's setup) but walks the
-    instruction trace and the data trace exactly once, updating every
-    configuration simultaneously.
+    geometry for the I- and D-cache, the paper's setup).  With numpy
+    available each configuration replays the (pre-converted, pre-
+    deduplicated) traces through the vectorized engine; the scalar
+    fallback walks the traces exactly once via :class:`MultiCache`,
+    updating every configuration simultaneously.
     """
     configs = list(configs)
+    if vector.use_vector():
+        iaddrs = vector.dedup_words(vector.as_addresses(itrace))
+        daddrs = vector.as_addresses(dtrace)
+        result = {}
+        for config in configs:
+            icache_sim = Cache(config)
+            dcache_sim = Cache(config)
+            vector.replay_reads(icache_sim, iaddrs)
+            vector.replay_tagged(dcache_sim, daddrs)
+            result[config] = _rates(stats, icache_sim, dcache_sim)
+        return result
     imulti = MultiCache(configs)
     dmulti = MultiCache(configs)
     imulti.run_reads(dedup_consecutive(itrace))

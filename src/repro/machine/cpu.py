@@ -22,13 +22,16 @@ clarity.
 
 from __future__ import annotations
 
-import struct
+import os
 from array import array
 
 from ..asm.objfile import Executable
 from ..isa import DecodingError, Instr, Op, OpKind, get_isa
 from ..isa.common import to_s32
 from ..isa.operations import Cond
+from .blocks import (HOT_THRESHOLD, CompiledBlock, NoProgress,
+                     _clamp_s32, _f32_bits_to_float, _f64_bits_to_float,
+                     _float_to_f32_bits, _float_to_f64_bits, compile_block)
 from .memory import DEFAULT_MEM_SIZE, Memory, MemoryError_
 from .pipeline import PipelineParams, hazard_indices
 from .stats import RunStats
@@ -38,6 +41,12 @@ WORD_MASK = 0xFFFFFFFF
 
 #: Default watchdog fuel (instructions) for :meth:`Machine.run`.
 DEFAULT_FUEL = 2_000_000_000
+
+#: Execution engines: ``blocks`` dispatches fused basic-block closures
+#: (see :mod:`repro.machine.blocks`); ``step`` is the seed's
+#: one-instruction-at-a-time interpreter, retained as the oracle for
+#: equivalence tests and as the path for traced/watchdog-limited runs.
+ENGINES = ("blocks", "step")
 
 
 class MachineError(Exception):
@@ -65,36 +74,6 @@ class MachineTimeout(MachineError):
     def __reduce__(self):  # exceptions cross process-pool boundaries
         return (MachineTimeout, (self.reason, self.pc, self.executed,
                                  self.cycles, self.last_trap))
-
-
-def _f32_bits_to_float(bits: int) -> float:
-    return struct.unpack("<f", struct.pack("<I", bits))[0]
-
-
-def _float_to_f32_bits(value: float) -> int:
-    try:
-        return struct.unpack("<I", struct.pack("<f", value))[0]
-    except OverflowError:
-        sign = 0x80000000 if value < 0 else 0
-        return sign | 0x7F800000  # +/- infinity
-
-
-def _f64_bits_to_float(lo: int, hi: int) -> float:
-    return struct.unpack("<d", struct.pack("<II", lo, hi))[0]
-
-
-def _float_to_f64_bits(value: float) -> tuple[int, int]:
-    lo, hi = struct.unpack("<II", struct.pack("<d", value))
-    return lo, hi
-
-
-def _clamp_s32(value: float) -> int:
-    value = int(value)  # truncate toward zero
-    if value > 0x7FFFFFFF:
-        value = 0x7FFFFFFF
-    elif value < -0x80000000:
-        value = -0x80000000
-    return value & WORD_MASK
 
 
 _INT_CMP = {
@@ -159,7 +138,14 @@ class Machine:
 
     def __init__(self, exe: Executable, *, params: PipelineParams | None = None,
                  stdin: bytes = b"", mem_size: int = DEFAULT_MEM_SIZE,
-                 trace_instructions: bool = False, trace_data: bool = False):
+                 trace_instructions: bool = False, trace_data: bool = False,
+                 engine: str | None = None):
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE", "blocks")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
+        self.engine = engine
         self.exe = exe
         self.isa = get_isa(exe.isa_name)
         self.params = params or PipelineParams()
@@ -183,33 +169,92 @@ class Machine:
         self._st = {"math_free": 0, "time": 0, "interlocks": 0,
                     "load_il": 0, "math_il": 0, "ifw": 0, "ifd": 0,
                     "cur_word": -1, "cur_dword": -1, "executed": 0}
+        # Block code objects embed nothing machine-specific, so they
+        # live on the executable, shared by every machine running the
+        # same image under the same pipeline parameters (the dict-typed
+        # params object is fingerprinted into a hashable key).  Slots
+        # this machine patches are tracked so their blocks never use
+        # (or pollute) the shared cache.
+        cache = getattr(exe, "_block_code_cache", None)
+        if cache is None:
+            cache = exe._block_code_cache = {}
+        self._code_cache = cache
+        self._params_key = (self.params.load_delay,
+                            tuple(sorted(self.params.math_latency.items())))
+        self._patched: set[int] = set()
         self._decode_text()
 
     # -------------------------------------------------------- decoding
 
     def _decode_text(self) -> None:
         isa = self.isa
-        text = self.exe.text
+        exe = self.exe
+        text = exe.text
         width = isa.width_bytes
         count = len(text) // width
-        self.program: list[Instr | None] = [None] * count
         self.handlers: list = [None] * count
-        self.reads_l: list[tuple[int, ...]] = [()] * count
-        self.writes_l: list[tuple[int, ...]] = [()] * count
-        self.mlat: list[int] = [0] * count  # math occupancy (0 = not math)
-        self.rlat: list[int] = [1] * count  # cycles until results usable
-        self.wkind: list[int] = [0] * count  # 0 = alu, 1 = load, 2 = math
         self.counts = [0] * count
-        for idx in range(count):
-            try:
-                instr = isa.decode_bytes(text, idx * width)
-            except DecodingError:
-                instr = None  # constant-pool data inside text
-            if instr is not None:
-                self._install(idx, instr)
+        # Block-engine state: lazily compiled blocks keyed by entry slot
+        # (False marks an uncompilable entry), the live-block registry
+        # for invalidation/count materialization, and the spill scratch
+        # a block flushes its in-flight counters into before any
+        # operation that can raise.
+        self._blocks: list = [None] * count
+        self._live: dict[int, object] = {}
+        self._spill: list[int] = [0] * 11
+        # Decoding depends only on the (immutable) text bytes, and the
+        # per-slot hazard/latency tables only on (text, pipeline
+        # params), so both are computed once and shared across machines
+        # via the executable.  Each machine works on shallow copies:
+        # patch_text rewrites the machine's own lists, never the shared
+        # originals.
+        decoded = getattr(exe, "_decoded_text", None)
+        if decoded is None:
+            decoded = []
+            for idx in range(count):
+                try:
+                    instr = isa.decode_bytes(text, idx * width)
+                except DecodingError:
+                    instr = None  # constant-pool data inside text
+                decoded.append(instr)
+            exe._decoded_text = decoded
+        meta_cache = getattr(exe, "_slot_meta_cache", None)
+        if meta_cache is None:
+            meta_cache = exe._slot_meta_cache = {}
+        meta = meta_cache.get(self._params_key)
+        if meta is None:
+            params = self.params
+            reads_l: list[tuple[int, ...]] = [()] * count
+            writes_l: list[tuple[int, ...]] = [()] * count
+            mlat = [0] * count   # math occupancy (0 = not math)
+            rlat = [1] * count   # cycles until results usable
+            wkind = [0] * count  # 0 = alu, 1 = load, 2 = math
+            for idx, instr in enumerate(decoded):
+                if instr is None:
+                    continue
+                reads_l[idx], writes_l[idx] = hazard_indices(instr)
+                info = instr.info
+                mlat[idx] = params.occupancy(info)
+                rlat[idx] = params.result_latency(info)
+                wkind[idx] = (2 if info.kind == OpKind.MATH
+                              else 1 if info.kind == OpKind.LOAD else 0)
+            meta = (reads_l, writes_l, mlat, rlat, wkind)
+            meta_cache[self._params_key] = meta
+        self.program: list[Instr | None] = list(decoded)
+        self.reads_l = list(meta[0])
+        self.writes_l = list(meta[1])
+        self.mlat = list(meta[2])
+        self.rlat = list(meta[3])
+        self.wkind = list(meta[4])
 
     def _install(self, idx: int, instr: Instr | None) -> None:
-        """(Re)build one pre-decoded slot's handler and hazard metadata."""
+        """(Re)build one pre-decoded slot's handler and hazard metadata.
+
+        Any compiled block covering the slot is invalidated (its lazily
+        held execution count is materialized first), so a patched slot
+        can never execute stale fused code.
+        """
+        self._invalidate_blocks(idx)
         self.program[idx] = instr
         if instr is None:
             self.handlers[idx] = None
@@ -227,7 +272,74 @@ class Machine:
         self.rlat[idx] = self.params.result_latency(info)
         self.wkind[idx] = (2 if info.kind == OpKind.MATH
                            else 1 if info.kind == OpKind.LOAD else 0)
-        self.handlers[idx] = self._compile(instr)
+        # Handler closures are built on first execution (handler_for):
+        # most static slots never run, and hot slots end up fused into
+        # compiled blocks that bypass the handler entirely.
+        self.handlers[idx] = None
+
+    # ------------------------------------------------ block bookkeeping
+
+    def handler_for(self, idx: int):
+        """The slot's handler closure, compiled on first use (or None
+        for a non-instruction slot)."""
+        handler = self.handlers[idx]
+        if handler is None:
+            instr = self.program[idx]
+            if instr is not None:
+                handler = self.handlers[idx] = self._compile(instr)
+        return handler
+
+    def _invalidate_blocks(self, idx: int) -> None:
+        """Drop every compiled block covering slot ``idx``."""
+        dead = [blk for blk in self._live.values()
+                if blk.entry <= idx < blk.entry + blk.n]
+        for blk in dead:
+            if blk.count:
+                counts = self.counts
+                for slot in blk.idxs:
+                    counts[slot] += blk.count
+                blk.count = 0
+            self._blocks[blk.entry] = None
+            del self._live[blk.entry]
+        # The slot's own entry marker may be stale either way (a False
+        # "uncompilable" mark, or vice versa) once the slot is patched.
+        self._blocks[idx] = None
+
+    def _materialize_counts(self) -> None:
+        """Fold lazily held per-block execution counts into ``counts``."""
+        counts = self.counts
+        for blk in self._live.values():
+            if blk.count:
+                for slot in blk.idxs:
+                    counts[slot] += blk.count
+                blk.count = 0
+
+    def _compile_entry(self, idx: int):
+        """Compile (or mark uncompilable) the block entered at ``idx``."""
+        blk = compile_block(self, idx)
+        if blk is None:
+            self._blocks[idx] = False
+            return False
+        self._blocks[idx] = blk
+        self._live[idx] = blk
+        return blk
+
+    def _recover_spill(self, blk, executed: int):
+        """Rebuild exact per-instruction state after a mid-block raise.
+
+        The compiled block spilled its in-flight counters (and the
+        faulting slot's address) right before the raising operation;
+        this folds the partially executed slots' counts in and returns
+        the updated loop state for the dispatcher to persist.
+        """
+        spill = self._spill
+        done = spill[0]
+        counts = self.counts
+        for slot in blk.idxs[:done]:
+            counts[slot] += 1
+        return (executed + done, spill[1], spill[2], spill[3], spill[4],
+                spill[5], spill[6], spill[7], spill[8], spill[9],
+                spill[10])
 
     # ------------------------------------------------- fault injection
 
@@ -258,6 +370,7 @@ class Machine:
             instr = self.isa.decode_bytes(bytes(raw), 0)
         except DecodingError:
             instr = None
+        self._patched.add(idx)
         self._install(idx, instr)
         return instr
 
@@ -636,15 +749,96 @@ class Machine:
         cycle_limit = (1 << 62) if max_cycles is None else max_cycles
         pc = self.pc
 
+        blocks = self._blocks
+        spill = self._spill
+        width = self.isa.width_bytes
+        wmask = width - 1
+        CB = CompiledBlock
+        code_cache = self._code_cache
+        pkey = self._params_key
+        # The block engine requires exact slot alignment (compiled
+        # blocks bake the pc in) and no tracing; anything else -- and
+        # the last instructions before a fuel/cycle/stop boundary --
+        # falls through to the per-instruction stepping path below,
+        # which is byte-for-byte the seed interpreter.
+        fast = (self.engine == "blocks" and itrace is None
+                and self.dtrace is None)
+        # Block entries are only ever control-transfer targets (plus
+        # the entry/resume pc): while stepping through a cold run, the
+        # fall-through slots are this block's interior, not entries of
+        # their own, so the dispatcher consults the block table only
+        # after a transfer.  ``blocks[idx]`` holds None (never seen),
+        # False (uncompilable), a warm-up counter, or the CompiledBlock.
+        transfer = True
+
         try:
             while not self.halted and executed < stop_at:
                 idx = (pc - base) >> shift
                 if idx < 0 or idx >= limit:
                     raise MachineError(f"PC {pc:#x} outside text segment")
+                if fast and transfer and not (pc - base) & wmask:
+                    blk = blocks[idx]
+                    if blk.__class__ is not CB:
+                        if blk is None:
+                            # First touch: compile at once when another
+                            # machine already generated this block's
+                            # code, otherwise start the warm-up count.
+                            if (idx, pkey) in code_cache:
+                                blk = self._compile_entry(idx)
+                            else:
+                                blocks[idx] = 1
+                                blk = False
+                        elif blk is not False:
+                            if blk >= HOT_THRESHOLD:
+                                blk = self._compile_entry(idx)
+                            else:
+                                blocks[idx] = blk + 1
+                                blk = False
+                    if blk is not False \
+                            and executed + blk.n <= stop_at \
+                            and executed + blk.n <= max_instructions \
+                            and time + blk.max_adv <= cycle_limit:
+                        spill[0] = -1
+                        try:
+                            (pc, time, math_free, interlocks, load_il,
+                             math_il, cur_word, cur_dword, ifw, ifd) = \
+                                blk.fn(time, math_free, interlocks,
+                                       load_il, math_il, cur_word,
+                                       cur_dword, ifw, ifd)
+                        except NoProgress:
+                            (executed, time, math_free, interlocks,
+                             load_il, math_il, cur_word, cur_dword,
+                             ifw, ifd, pc) = \
+                                self._recover_spill(blk, executed)
+                            raise MachineTimeout(
+                                "no-progress loop (instruction branches "
+                                "to itself)", pc, executed, time,
+                                self.traps.last_trap) from None
+                        except (MemoryError_, MachineError) as exc:
+                            if spill[0] < 0:
+                                raise
+                            (executed, time, math_free, interlocks,
+                             load_il, math_il, cur_word, cur_dword,
+                             ifw, ifd, pc) = \
+                                self._recover_spill(blk, executed)
+                            raise MachineError(
+                                f"at pc={pc:#x}: {exc}") from exc
+                        except BaseException:
+                            if spill[0] >= 0:
+                                (executed, time, math_free, interlocks,
+                                 load_il, math_il, cur_word, cur_dword,
+                                 ifw, ifd, pc) = \
+                                    self._recover_spill(blk, executed)
+                            raise
+                        blk.count += 1
+                        executed += blk.n
+                        continue
                 handler = handlers[idx]
                 if handler is None:
-                    raise MachineError(
-                        f"executed non-instruction at {pc:#x}")
+                    handler = self.handler_for(idx)
+                    if handler is None:
+                        raise MachineError(
+                            f"executed non-instruction at {pc:#x}")
                 counts[idx] += 1
                 executed += 1
                 if executed > max_instructions:
@@ -707,10 +901,14 @@ class Machine:
                         "no-progress loop (instruction branches to "
                         "itself)", pc, executed, time,
                         self.traps.last_trap)
+                transfer = new_pc != pc + width
                 pc = new_pc
         finally:
             # Persist state even on errors, so watchdog handlers and the
             # fault classifier can read pc/executed/cycles afterwards.
+            # Lazily held per-block execution counts are folded into the
+            # per-slot vector so stats are exact on every exit path.
+            self._materialize_counts()
             self.pc = pc
             st.update(math_free=math_free, time=time,
                       interlocks=interlocks, load_il=load_il,
@@ -743,11 +941,12 @@ def run_executable(exe: Executable, *, stdin: bytes = b"",
                    trace_data: bool = False,
                    max_instructions: int = DEFAULT_FUEL,
                    max_cycles: int | None = None,
+                   engine: str | None = None,
                    ) -> tuple[RunStats, Machine]:
     """Load and run an executable; returns (stats, machine)."""
     machine = Machine(exe, params=params, stdin=stdin,
                       trace_instructions=trace_instructions,
-                      trace_data=trace_data)
+                      trace_data=trace_data, engine=engine)
     stats = machine.run(max_instructions=max_instructions,
                         max_cycles=max_cycles)
     return stats, machine

@@ -8,7 +8,6 @@ code-generation bug, so it is an error rather than silently rotated).
 from __future__ import annotations
 
 from ..asm.objfile import Executable
-from ..isa.common import sign_extend
 
 
 class MemoryError_(Exception):
@@ -45,19 +44,31 @@ class Memory:
         if addr % size:
             raise MemoryError_(f"misaligned {size}-byte access at {addr:#x}")
 
+    # The bounds/alignment test is inlined into every accessor (rather
+    # than calling _check) because these run once per simulated load or
+    # store -- the call overhead is measurable across a benchmark
+    # suite.  _check stays as the single source of the error messages.
+
     def read_word(self, addr: int) -> int:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4)
         return int.from_bytes(self.data[addr:addr + 4], "little")
 
     def read_half(self, addr: int, signed: bool = False) -> int:
-        self._check(addr, 2)
+        if addr < 0 or addr + 2 > self.size or addr & 1:
+            self._check(addr, 2)
         value = int.from_bytes(self.data[addr:addr + 2], "little")
-        return sign_extend(value, 16) if signed else value
+        if signed and value & 0x8000:
+            return value - 0x1_0000
+        return value
 
     def read_byte(self, addr: int, signed: bool = False) -> int:
-        self._check(addr, 1)
+        if addr < 0 or addr >= self.size:
+            self._check(addr, 1)
         value = self.data[addr]
-        return sign_extend(value, 8) if signed else value
+        if signed and value & 0x80:
+            return value - 0x100
+        return value
 
     def read_bytes(self, addr: int, length: int) -> bytes:
         if addr < 0 or addr + length > self.size:
@@ -67,15 +78,18 @@ class Memory:
     # ------------------------------------------------------------ writes
 
     def write_word(self, addr: int, value: int) -> None:
-        self._check(addr, 4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4)
         self.data[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
 
     def write_half(self, addr: int, value: int) -> None:
-        self._check(addr, 2)
+        if addr < 0 or addr + 2 > self.size or addr & 1:
+            self._check(addr, 2)
         self.data[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
 
     def write_byte(self, addr: int, value: int) -> None:
-        self._check(addr, 1)
+        if addr < 0 or addr >= self.size:
+            self._check(addr, 1)
         self.data[addr] = value & 0xFF
 
     def read_cstring(self, addr: int, limit: int = 4096) -> bytes:

@@ -1,0 +1,110 @@
+"""Vectorized cache replay vs the scalar Cache oracle.
+
+The numpy engine (:mod:`repro.cache.vector`) regroups a trace
+line-major and compresses it to first-demands; these property tests pin
+its contract: after replaying any trace -- cold or warm-started, reads
+or mixed tagged reads/writes -- every counter AND the tag/valid state
+must equal the scalar loops byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.vector import HAVE_NUMPY, use_vector
+
+if HAVE_NUMPY:
+    from repro.cache.vector import (as_addresses, dedup_words,
+                                    replay_reads, replay_tagged)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed ([perf] extra)")
+
+#: Geometries spanning the paper's sweep corners plus degenerate
+#: single-line and single-sub shapes.
+GEOMETRIES = [(1024, 16, 4), (1024, 32, 16), (2048, 64, 8),
+              (4096, 32, 32), (256, 16, 16), (512, 64, 64)]
+
+geometry = st.sampled_from(GEOMETRIES)
+#: Small address space so lines collide and tags get replaced often.
+addresses = st.lists(st.integers(0, 0x3FFF), max_size=400)
+
+
+def snapshot(cache):
+    return (cache.read_accesses, cache.read_misses,
+            cache.write_accesses, cache.write_misses,
+            cache.traffic_words, list(cache.tags), list(cache.valid))
+
+
+def pair(geometry):
+    size, block, sub = geometry
+    cfg = CacheConfig(size=size, block=block, sub_block=sub)
+    return Cache(cfg), Cache(cfg)
+
+
+class TestReadReplay:
+    @settings(max_examples=60)
+    @given(geometry=geometry, addrs=addresses)
+    def test_cold_replay_matches_oracle(self, geometry, addrs):
+        oracle, vec = pair(geometry)
+        oracle.run_reads(addrs)
+        replay_reads(vec, addrs)
+        assert snapshot(vec) == snapshot(oracle)
+
+    @settings(max_examples=40)
+    @given(geometry=geometry, warm=addresses, addrs=addresses)
+    def test_warm_start_matches_oracle(self, geometry, warm, addrs):
+        # Pre-populate both caches identically, then replay: the vector
+        # engine must honour pre-existing tags and partial valid masks.
+        oracle, vec = pair(geometry)
+        for cache in (oracle, vec):
+            cache.run_reads(warm)
+            cache.reset_stats()
+        oracle.run_reads(addrs)
+        replay_reads(vec, addrs)
+        assert snapshot(vec) == snapshot(oracle)
+
+    @settings(max_examples=40)
+    @given(geometry=geometry, addrs=addresses)
+    def test_dedup_matches_dedup_consecutive(self, geometry, addrs):
+        from repro.cache import dedup_consecutive
+
+        oracle, vec = pair(geometry)
+        oracle.run_reads(dedup_consecutive(addrs))
+        replay_reads(vec, addrs, dedup=True)
+        assert snapshot(vec) == snapshot(oracle)
+
+
+class TestTaggedReplay:
+    @settings(max_examples=60)
+    @given(geometry=geometry,
+           stream=st.lists(st.tuples(st.integers(0, 0x3FFF),
+                                     st.booleans()), max_size=400))
+    def test_mixed_stream_matches_oracle(self, geometry, stream):
+        tagged = [(addr & ~3) | int(write) for addr, write in stream]
+        oracle, vec = pair(geometry)
+        oracle.run_tagged(tagged)
+        replay_tagged(vec, tagged)
+        assert snapshot(vec) == snapshot(oracle)
+
+
+class TestHelpers:
+    def test_as_addresses_and_dedup_words(self):
+        addrs = as_addresses([0, 1, 2, 3, 4, 8, 8, 12])
+        assert addrs.dtype.kind == "i"
+        # Word-aligned, consecutive duplicates removed: 0,0,0,0 -> 0.
+        assert dedup_words(addrs).tolist() == [0, 4, 8, 12]
+
+    def test_empty_trace_is_noop(self):
+        oracle, vec = pair(GEOMETRIES[0])
+        replay_reads(vec, [])
+        replay_tagged(vec, [])
+        assert snapshot(vec) == snapshot(oracle)
+
+    def test_engine_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_ENGINE", "python")
+        assert not use_vector()
+        monkeypatch.setenv("REPRO_CACHE_ENGINE", "numpy")
+        assert use_vector()
+        monkeypatch.delenv("REPRO_CACHE_ENGINE")
+        assert use_vector() == HAVE_NUMPY

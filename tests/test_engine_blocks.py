@@ -1,0 +1,295 @@
+"""Block-compiled engine: exact equivalence with the stepping core.
+
+The ``blocks`` engine fuses straight-line instruction runs into
+compiled closures; these tests pin the contract that makes it safe to
+use as the default: every observable statistic is byte-identical to the
+per-instruction ``step`` engine, across normal runs, pause/resume,
+watchdog expiry, text patching (fault injection), and whole fault
+campaigns.
+
+Unit-test programs retire far fewer instructions than the warm-up
+threshold, so most tests lower ``repro.machine.cpu.HOT_THRESHOLD`` to
+force compilation on the second visit of every block entry.
+"""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.faults import GoldenRun, run_fault
+from repro.isa import D16, DLXE
+from repro.machine import Machine, MachineTimeout, run_executable
+from repro.machine import cpu as cpu_mod
+from repro.machine.blocks import CompiledBlock
+
+HEADER = ".text\n.global _start\n_start:\n"
+
+#: D16 conditional branches implicitly test r0; DLXE hardwires r0 to
+#: zero.  Loop counters therefore live in ``{cnt}``, filled per ISA.
+CNT = {D16: "r0", DLXE: "r1"}
+
+#: Same aimable loop as test_faults: stores then loads through r4,
+#: accumulates into r2, prints chr(21), exits 0.
+LOOP_TMPL = """
+mvi r4, 8
+shli r4, r4, 12
+mvi r5, 77
+st r5, (r4)
+mvi r2, 0
+mvi {cnt}, 6
+loop:
+add r2, r2, {cnt}
+ld r6, (r4)
+subi {cnt}, {cnt}, 1
+bnz {cnt}, loop
+trap 1
+mvi r2, 0
+trap 0
+"""
+
+LOOP_BODY = LOOP_TMPL.format(cnt="r0")          # the d16 instance
+
+#: Exercises the inlined op families: ALU, shifts, mul/div/rem,
+#: loads/stores of every width, and branches.
+MIXED_TMPL = """
+mvi r2, 0
+mvi r3, 100
+mvi r4, 8
+shli r4, r4, 12
+mvi r10, 7
+mvi r11, 5
+mv r12, r4
+addi r12, r12, 4
+mv r13, r4
+addi r13, r13, 6
+mvi {cnt}, 12
+loop:
+mv r5, {cnt}
+mul r5, r5, r3
+div r5, r5, r10
+mv r6, r5
+rem r6, r6, r11
+add r2, r2, r5
+sub r2, r2, r6
+st r2, (r4)
+sth r2, (r12)
+stb r2, (r13)
+ld r7, (r4)
+ldh r8, (r12)
+ldb r9, (r13)
+add r2, r2, r8
+xor r2, r2, r9
+subi {cnt}, {cnt}, 1
+bnz {cnt}, loop
+trap 0
+"""
+
+#: FP pipeline: bit moves in, single-precision arithmetic, convert out.
+FP_TMPL = """
+mvi r2, 7
+mvi {cnt}, 5
+mvif f0, r2
+si2sf f0, f0
+mvif f2, {cnt}
+si2sf f2, f2
+loop:
+mv.sf f4, f0
+add.sf f4, f4, f2
+mul.sf f4, f4, f2
+div.sf f4, f4, f0
+sf2si f6, f4
+mvfi r3, f6
+add r2, r2, r3
+subi {cnt}, {cnt}, 1
+bnz {cnt}, loop
+trap 0
+"""
+
+
+@pytest.fixture
+def hot(monkeypatch):
+    """Compile every block entry on its second visit."""
+    monkeypatch.setattr(cpu_mod, "HOT_THRESHOLD", 1)
+
+
+def build_asm(body, isa=D16):
+    return link([assemble(HEADER + body, isa)])
+
+
+def stats_key(stats):
+    """Every RunStats field that run output depends on."""
+    return (stats.instructions, stats.loads, stats.stores,
+            stats.interlocks, stats.load_interlocks,
+            stats.math_interlocks, stats.ifetch_words,
+            stats.ifetch_dwords, stats.exit_code, stats.output,
+            tuple(stats.exec_counts))
+
+
+def run_both(exe, **kwargs):
+    step, _ = run_executable(exe, engine="step", **kwargs)
+    blocks, machine = run_executable(exe, engine="blocks", **kwargs)
+    return step, blocks, machine
+
+
+class TestStatsEquivalence:
+    @pytest.mark.parametrize("tmpl", [LOOP_TMPL, MIXED_TMPL, FP_TMPL],
+                             ids=["loop", "mixed", "fp"])
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_asm_programs_identical(self, hot, tmpl, isa):
+        exe = build_asm(tmpl.format(cnt=CNT[isa]), isa)
+        step, blocks, machine = run_both(exe)
+        assert stats_key(step) == stats_key(blocks)
+        # The warm-up fixture must have actually engaged the compiler,
+        # otherwise this test silently degenerates to step-vs-step.
+        assert any(isinstance(blk, CompiledBlock)
+                   for blk in machine._blocks)
+
+    @pytest.mark.parametrize("name", ["ackermann", "queens"])
+    def test_suite_cells_identical(self, lab, isa_target, name):
+        # Real benchmark cells cross HOT_THRESHOLD on their own; the
+        # full 30-cell sweep lives in benchmarks/test_perf_smoke.py.
+        exe = lab.executable(name, isa_target)
+        step, blocks, _ = run_both(exe)
+        assert stats_key(step) == stats_key(blocks)
+
+
+class TestPauseResume:
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_stop_after_snapshots_identical(self, hot, isa):
+        exe = build_asm(LOOP_TMPL.format(cnt=CNT[isa]), isa)
+        m_step = Machine(exe, engine="step")
+        m_blk = Machine(exe, engine="blocks")
+        # Pause every 7 retired instructions; every snapshot (taken
+        # mid-loop, mid-block) must agree between the engines.
+        for stop in range(7, 64, 7):
+            s = m_step.run(stop_after=stop)
+            b = m_blk.run(stop_after=stop)
+            assert stats_key(s) == stats_key(b)
+            if m_step.halted:
+                break
+        final_s = m_step.run()
+        final_b = m_blk.run()
+        assert stats_key(final_s) == stats_key(final_b)
+        assert final_b.output == chr(21)
+
+    def test_resume_matches_uninterrupted_run(self, hot):
+        exe = build_asm(MIXED_TMPL.format(cnt="r0"))
+        straight, _ = run_executable(exe, engine="blocks")
+        paused = Machine(exe, engine="blocks")
+        paused.run(stop_after=13)
+        paused.run(stop_after=131)
+        resumed = paused.run()
+        assert stats_key(resumed) == stats_key(straight)
+
+
+class TestWatchdogs:
+    SPIN = "mvi {cnt}, 1\nloop:\naddi {cnt}, {cnt}, 1\n" \
+           "bnz {cnt}, loop\ntrap 0\n"
+
+    def timeout_of(self, exe, engine, **kwargs):
+        with pytest.raises(MachineTimeout) as info:
+            Machine(exe, engine=engine).run(**kwargs)
+        e = info.value
+        return (e.reason, e.pc, e.executed)
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_fuel_expiry_identical(self, hot, isa):
+        exe = build_asm(self.SPIN.format(cnt=CNT[isa]), isa)
+        step = self.timeout_of(exe, "step", max_instructions=500)
+        blocks = self.timeout_of(exe, "blocks", max_instructions=500)
+        assert step == blocks
+        assert "instruction limit" in step[0]
+        assert step[2] == 501     # raised on the 501st retirement
+
+    def test_cycle_expiry_identical(self, hot):
+        exe = build_asm(self.SPIN.format(cnt="r0"))
+        step = self.timeout_of(exe, "step", max_cycles=400)
+        blocks = self.timeout_of(exe, "blocks", max_cycles=400)
+        assert step == blocks
+        assert "cycle limit" in step[0]
+
+    def test_self_branch_no_progress_identical(self, hot):
+        exe = build_asm("mvi r0, 3\nhang:\nbr hang\ntrap 0\n")
+        step = self.timeout_of(exe, "step")
+        blocks = self.timeout_of(exe, "blocks")
+        assert step == blocks
+        assert "no-progress" in step[0]
+
+
+class TestPatchInvalidation:
+    def test_patched_slot_invalidates_containing_block(self, hot):
+        exe = build_asm(LOOP_BODY)
+        golden, _ = run_executable(exe, engine="step")
+
+        machine = Machine(exe, engine="blocks")
+        machine.run(stop_after=20)          # loop body is compiled now
+        compiled_entries = {blk.entry for blk in machine._live.values()}
+        assert compiled_entries, "loop never compiled; fixture broken"
+
+        # Re-encode a loop-body slot with its own bytes: semantics are
+        # unchanged, but the containing block must be torn down and the
+        # run must still retire the exact golden statistics.
+        idx = next(iter(compiled_entries))
+        width = machine.isa.width_bytes
+        addr = machine.exe.text_base + idx * width
+        raw = bytes(machine.mem.data[addr:addr + width])
+        machine.patch_text(idx, raw)
+        assert not any(blk.entry <= idx < blk.entry + blk.n
+                       for blk in machine._live.values())
+
+        final = machine.run()
+        assert stats_key(final) == stats_key(golden)
+
+    def test_patch_diverges_from_shared_code_cache(self, hot):
+        # Two machines share exe._block_code_cache; patching one must
+        # not leak stale compiled semantics into it or out of it.
+        exe = build_asm(LOOP_BODY)
+        pristine = Machine(exe, engine="blocks")
+        base = pristine.run()
+
+        patched = Machine(exe, engine="blocks")
+        patched.run(stop_after=20)
+        idx = next(iter(patched._live)) if patched._live else 6
+        width = patched.isa.width_bytes
+        addr = patched.exe.text_base + idx * width
+        patched.patch_text(
+            idx, bytes(patched.mem.data[addr:addr + width]))
+        patched.run()
+
+        fresh = Machine(exe, engine="blocks")
+        again = fresh.run()
+        assert stats_key(again) == stats_key(base)
+
+
+class TestFaultEquivalence:
+    #: (kind, trigger, coords) drawn from the locked campaign shapes:
+    #: masked, SDC, detected, hang, and text-patching ifetch flips.
+    SPECS = [("reg", 2, {"reg": 9, "bit": 3}),
+             ("reg", 8, {"reg": 2, "bit": 4}),
+             ("reg", 8, {"reg": 4, "bit": 31}),
+             ("reg", 8, {"reg": 0, "bit": 24}),
+             ("ifetch", 8, {"bit": 1}),
+             ("ifetch", 8, {"bit": 5})]
+
+    def test_outcomes_identical_across_engines(self, hot, monkeypatch):
+        from repro.faults import FaultSpec
+
+        exe = build_asm(LOOP_BODY)
+        golden_stats, _ = run_executable(exe, engine="step")
+        golden = GoldenRun(instructions=golden_stats.instructions,
+                           interlocks=golden_stats.interlocks,
+                           exit_code=golden_stats.exit_code,
+                           output=golden_stats.output)
+
+        results = {}
+        for engine in ("step", "blocks"):
+            monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+            results[engine] = [
+                run_fault(exe,
+                          FaultSpec(index=0, bench="t", target="d16",
+                                    kind=kind, trigger=trigger, **coords),
+                          golden)
+                for kind, trigger, coords in self.SPECS]
+        for step_r, blk_r in zip(results["step"], results["blocks"]):
+            assert step_r.outcome == blk_r.outcome
+            assert step_r.detail == blk_r.detail
+            assert step_r.latency_cycles == blk_r.latency_cycles
