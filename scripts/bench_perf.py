@@ -11,11 +11,16 @@ Phases timed (see :mod:`repro.bench.timing`):
 * ``sim_suite_step`` / ``sim_suite_blocks``
                                         -- the whole benchmark suite under
                                            the per-instruction and the
-                                           block-compiled engine.
+                                           block-compiled engine;
+* ``analysis_lint`` / ``analysis_wcet`` / ``analysis_icache``
+                                        -- the static-analysis stack over
+                                           the same cell (three-layer lint,
+                                           WCET composition, I-cache
+                                           classification + replay).
 
-``cacheperf_speedup`` and ``sim_speedup`` record the corresponding
-ratios so the perf trajectory is tracked across PRs; CI enforces them
-via ``scripts/check_perf_budget.py``.
+``cacheperf_speedup``, ``sim_speedup``, and ``icache_replay_speedup``
+record the corresponding ratios so the perf trajectory is tracked
+across PRs; CI enforces them via ``scripts/check_perf_budget.py``.
 
 Run:  PYTHONPATH=src python scripts/bench_perf.py [-o BENCH_repro.json]
 """
@@ -38,22 +43,29 @@ def main(argv=None) -> int:
                         help="skip the slow sequential-sweep baseline")
     parser.add_argument("--no-sim", action="store_true",
                         help="skip the two-engine benchmark-suite timing")
+    parser.add_argument("--no-analysis", action="store_true",
+                        help="skip the static-analysis-stack timing")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
         report = time_phases(program=args.program, target=args.target,
                              sequential_baseline=not args.no_sequential,
                              sim_engines=not args.no_sim,
+                             analysis=not args.no_analysis,
                              cache_root=root)
     write_bench_json(report, args.output)
 
     for name, seconds in report["phases"].items():
         print(f"{name:24s} {seconds:8.3f}s")
+    for name, seconds in report.get("analysis", {}).items():
+        print(f"{name:24s} {seconds:8.3f}s")
     for name in ("sim_suite_step", "sim_suite_blocks"):
         if name in report:
             print(f"{name:24s} {report[name]:8.3f}s")
     for label, metric in (("cacheperf speedup", "cacheperf_speedup"),
-                          ("sim speedup", "sim_speedup")):
+                          ("sim speedup", "sim_speedup"),
+                          ("icache replay speedup",
+                           "icache_replay_speedup")):
         if metric in report:
             print(f"{label:24s} {report[metric]:8.2f}x")
     if report.get("sim_divergent"):

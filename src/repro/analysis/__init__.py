@@ -18,6 +18,10 @@ Several layers keep the density/path-length experiments honest:
   dominator-based loop recovery, loop-bound inference over a symbolic
   one-iteration domain, and interprocedural [BCET, WCET] composition
   bracketing whole runs (LOOP001, TIM003-005);
+* :mod:`~repro.analysis.icache` — must/may/persistence abstract
+  interpretation of the direct-mapped sub-blocked I-cache, composed
+  into cache-aware miss/cycle bounds and validated against simulated
+  replay (CACHE001-005);
 * :mod:`~repro.analysis.density` — static D16-compressibility
   estimate of DLXe images, instruction by instruction (DEN001);
 * :mod:`~repro.analysis.xisa` — cross-ISA consistency of the same
@@ -33,13 +37,17 @@ from .binlint import lint_assembly, lint_executable
 from .cfg import BasicBlock, BinaryCFG, build_cfg
 from .density import (FunctionDensity, ProgramDensity, analyze_density,
                       estimate_halfwords, fused_constant_pair)
-from .driver import (DEFAULT_TARGETS, EXIT_ERRORS, EXIT_INTERNAL,
-                     EXIT_OK, LintReport, cross_isa_suite, density_suite,
-                     exit_code, lint_program, lint_suite, timing_program,
-                     timing_suite, wcet_program, wcet_suite)
+from .driver import (DEFAULT_MISS_PENALTY, DEFAULT_TARGETS, EXIT_ERRORS,
+                     EXIT_INTERNAL, EXIT_OK, LintReport, cross_isa_suite,
+                     density_suite, exit_code, icache_program,
+                     icache_suite, lint_program, lint_suite,
+                     timing_program, timing_suite, wcet_program,
+                     wcet_suite)
 from .findings import (Finding, RULES, Rule, SCHEMA_VERSION, Severity,
                        finding, has_errors, render_json, render_text,
                        rule_doc_url, summarize)
+from .icache import (FetchSite, ICacheAnalysis, ICacheValidation,
+                     SiteClass, analyze_icache, validate_icache)
 from .irverify import verify_function, verify_module
 from .loops import DomTree, Loop, LoopForest, dominator_tree, find_loops
 from .timing import (BlockBounds, StaticBounds, TimingValidation,
@@ -53,21 +61,27 @@ from .xisa import (CrossIsaReport, analyze_source, check_cross_isa,
 
 __all__ = [
     "AnalysisResult", "BasicBlock", "BinaryCFG", "BlockBounds",
-    "CrossIsaReport", "DEFAULT_SLACK", "DEFAULT_TARGETS", "DomTree",
-    "EXIT_ERRORS", "EXIT_INTERNAL", "EXIT_OK", "Finding",
-    "FunctionDensity", "FunctionSummary", "FunctionTiming", "Interval",
+    "CrossIsaReport", "DEFAULT_MISS_PENALTY", "DEFAULT_SLACK",
+    "DEFAULT_TARGETS", "DomTree",
+    "EXIT_ERRORS", "EXIT_INTERNAL", "EXIT_OK", "FetchSite", "Finding",
+    "FunctionDensity", "FunctionSummary", "FunctionTiming",
+    "ICacheAnalysis", "ICacheValidation", "Interval",
     "LintReport", "Loop", "LoopBound", "LoopForest", "ProgramDensity",
     "ProgramWcet", "RULES", "Rule", "SCHEMA_VERSION", "SPRel",
-    "Severity", "StaticBounds", "TimingValidation", "ValueDomain",
+    "Severity", "SiteClass", "StaticBounds", "TimingValidation",
+    "ValueDomain",
     "WcetValidation", "analyze_density", "analyze_executable",
+    "analyze_icache",
     "analyze_source", "analyze_wcet", "block_stall_bounds", "build_cfg",
     "check_cross_isa", "check_timing", "check_wcet", "compare_analyses",
     "cross_isa_suite", "density_suite", "dominator_tree",
     "estimate_halfwords", "exit_code", "exit_seed", "find_loops",
-    "finding", "fused_constant_pair", "has_errors", "infer_loop_bound",
+    "finding", "fused_constant_pair", "has_errors", "icache_program",
+    "icache_suite", "infer_loop_bound",
     "lint_assembly", "lint_executable", "lint_program", "lint_suite",
     "predecessor_seed", "render_json", "render_text", "resolve_cfg",
     "rule_doc_url", "solve", "static_bounds", "summarize",
-    "timing_program", "timing_suite", "validate_run", "validate_wcet",
+    "timing_program", "timing_suite", "validate_icache", "validate_run",
+    "validate_wcet",
     "verify_function", "verify_module", "wcet_program", "wcet_suite",
 ]

@@ -45,6 +45,7 @@ from ..asm.objfile import Executable
 from ..isa import DecodingError, Instr, IsaSpec, Op
 from ..isa.common import to_s32
 from ..isa.operations import Cond
+from ..isa.refs import ldc_pool_addr
 from ..machine.memory import DEFAULT_MEM_SIZE
 from .cfg import BasicBlock, BinaryCFG, build_cfg
 from .findings import Finding, finding
@@ -347,7 +348,7 @@ class ValueDomain:
                 self._set(state, instr.rd, TOP)
             return
         if op == Op.LDC:
-            addr = (pc & ~3) + imm
+            addr = ldc_pool_addr(pc, imm)
             word = self.cfg.read_word(addr)
             self._set(state, instr.rd,
                       const(word) if word is not None else TOP)

@@ -27,11 +27,13 @@ from dataclasses import dataclass, field
 
 from ..asm.objfile import Executable
 from ..isa import DecodingError, Instr, IsaSpec, Op, OpKind
+from ..isa.refs import (ABS_JUMPS, PCREL_BRANCHES, ldc_pool_addr,
+                        transfer_target)
 
 #: PC-relative branches with a statically known target.
-STATIC_BRANCHES = (Op.BR, Op.BZ, Op.BNZ)
+STATIC_BRANCHES = PCREL_BRANCHES
 #: Direct (J-type) jumps with an absolute target in the immediate.
-STATIC_JUMPS = (Op.JD, Op.JLD)
+STATIC_JUMPS = ABS_JUMPS
 #: Calls (direct and register-indirect).
 CALL_OPS = (Op.JL, Op.JLD)
 #: Ops after which execution cannot fall through.
@@ -43,13 +45,8 @@ def is_halt(instr: Instr) -> bool:
     return instr.op == Op.TRAP and instr.imm == 0
 
 
-def static_target(pc: int, instr: Instr) -> int | None:
-    """The statically known control-flow target of ``instr``, if any."""
-    if instr.op in STATIC_BRANCHES:
-        return pc + instr.imm
-    if instr.op in STATIC_JUMPS:
-        return instr.imm
-    return None
+#: The statically known control-flow target of an instruction, if any.
+static_target = transfer_target
 
 
 @dataclass
@@ -205,7 +202,7 @@ def build_cfg(exe: Executable, isa: IsaSpec, *,
             continue
         op = instr.op
         if op == Op.LDC:
-            addr = (pc & ~3) + instr.imm
+            addr = ldc_pool_addr(pc, instr.imm)
             cfg.ldc_refs.append((pc, addr))
             if base <= addr < end:
                 pool.update(range(addr, addr + 4))

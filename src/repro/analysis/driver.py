@@ -37,6 +37,8 @@ from .binlint import lint_assembly, lint_executable
 from .cfg import build_cfg
 from .density import ProgramDensity, analyze_density
 from .findings import Finding, finding, has_errors
+from .icache import (ICacheAnalysis, ICacheValidation, analyze_icache,
+                     validate_icache)
 from .irverify import verify_module
 from .timing import (TimingValidation, check_timing, static_bounds,
                      validate_run)
@@ -274,6 +276,109 @@ def wcet_suite(targets: Iterable[str] = DEFAULT_TARGETS,
             reports.append(LintReport(program=name, target=target_name,
                                       findings=validation.findings))
     return reports, validations
+
+
+#: Default miss penalty (cycles) for cache-aware bounds -- the middle
+#: of the cacheperf experiment's penalty grid.
+DEFAULT_MISS_PENALTY = 8
+
+
+def icache_program(source: str, target: TargetSpec | str, *,
+                   opt_level: int = 2,
+                   include_runtime: bool = True,
+                   params=None,
+                   sizes: Iterable[int] | None = None,
+                   block: int = 32, sub_block: int = 8,
+                   penalty: int = DEFAULT_MISS_PENALTY,
+                   ) -> list[tuple[ICacheAnalysis, ICacheValidation]]:
+    """Compile, trace, and validate the static I-cache classification
+    of one program across a cache-size grid: must/may/persistence
+    fetch classification, composed miss upper bounds, and the replay
+    soundness sweep (CACHE001-005)."""
+    from ..cache.cache import CacheConfig
+    from ..experiments.cacheperf import CACHE_SIZES
+    from ..machine import run_executable
+
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    module = lower_program(parse(full_source))
+    optimize_module(module, level=opt_level)
+    assembly = generate_assembly(module, target, schedule=opt_level >= 1)
+    obj = Assembler(target.isa).assemble(assembly)
+    exe = link([obj])
+    stats, machine = run_executable(exe, params=params,
+                                    trace_instructions=True)
+    program = analyze_wcet(exe, target.isa, model=params, target=target)
+    sizes = tuple(sizes) if sizes is not None else CACHE_SIZES
+    out = []
+    for size in sizes:
+        config = CacheConfig(size=size, block=block,
+                             sub_block=sub_block)
+        analysis = analyze_icache(program, config)
+        validation = validate_icache(analysis, machine.itrace, stats,
+                                     penalty=penalty)
+        out.append((analysis, validation))
+    return out
+
+
+def icache_suite(targets: Iterable[str] = DEFAULT_TARGETS,
+                 programs: Iterable[str] | None = None, *,
+                 params=None, lab=None,
+                 sizes: Iterable[int] | None = None,
+                 block: int = 32, sub_block: int = 8,
+                 penalty: int = DEFAULT_MISS_PENALTY,
+                 ) -> tuple[list[LintReport], dict]:
+    """Validate the static I-cache classification over the suite.
+
+    Runs the must/may/persistence analysis for every benchmark cell
+    across the cache-size grid and replays each cell's instruction
+    trace as the soundness oracle.  Returns ``(reports, results)``
+    where ``results`` maps ``(program, target)`` to the per-config
+    ``(analysis, validation)`` pairs -- the static-vs-simulated miss
+    numbers feed EXPERIMENTS.md and the ``--json`` report.  Analysis
+    findings repeat identically across configs (boundability is a
+    structural property), so the per-cell report deduplicates them.
+    """
+    from ..cache.cache import CacheConfig
+    from ..experiments.cacheperf import CACHE_SIZES
+    from ..experiments.runner import Lab
+
+    lab = lab or Lab(params=params)
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    targets = tuple(targets)
+    sizes = tuple(sizes) if sizes is not None else CACHE_SIZES
+    reports: list[LintReport] = []
+    results: dict[tuple[str, str], list] = {}
+    for name in names:
+        for target_name in targets:
+            target = get_target(target_name)
+            exe = lab.executable(name, target_name)
+            trace = lab.trace(name, target_name)
+            program = analyze_wcet(exe, target.isa, model=lab.params,
+                                   target=target)
+            cell = []
+            cell_findings: list[Finding] = []
+            seen: set[tuple] = set()
+            for size in sizes:
+                config = CacheConfig(size=size, block=block,
+                                     sub_block=sub_block)
+                analysis = analyze_icache(program, config)
+                validation = validate_icache(
+                    analysis, trace.itrace, trace.run.stats,
+                    penalty=penalty)
+                cell.append((analysis, validation))
+                for f in analysis.findings + validation.findings:
+                    key = (f.rule, f.location, f.message)
+                    if key not in seen:
+                        seen.add(key)
+                        cell_findings.append(f)
+            results[(name, target_name)] = cell
+            reports.append(LintReport(program=name, target=target_name,
+                                      findings=cell_findings))
+    return reports, results
 
 
 def density_suite(programs: Iterable[str] | None = None, *,

@@ -85,15 +85,28 @@ RULES: dict[str, Rule] = {r.id: r for r in (
                                     "between ISAs"),
     Rule("XISA003", Severity.ERROR, "returned constant differs "
                                     "between ISAs"),
+    # Static I-cache analysis (repro.analysis.icache)
+    Rule("CACHE001", Severity.ERROR, "always-hit classification "
+                                     "contradicted (unsound)"),
+    Rule("CACHE002", Severity.ERROR, "simulation escapes the static "
+                                     "I-cache miss/cycle bound"),
+    Rule("CACHE003", Severity.WARNING, "instruction-fetch misses not "
+                                       "statically boundable"),
+    Rule("CACHE004", Severity.ERROR, "cache configuration mismatch "
+                                     "between analysis and replay"),
+    Rule("CACHE005", Severity.ERROR, "prefetch model diverges from "
+                                     "the simulated cache"),
 )}
 
 #: Version of the JSON report layout produced by :func:`render_json`.
 #: Bump on any backwards-incompatible change to the payload shape.
 #: Version 2 added the loop/WCET rules (LOOP001, TIM003-005, DEN001)
 #: to the ``rules`` metadata and the per-function ``bounds`` records
-#: emitted by ``repro lint --wcet --json``; docs/linting.md documents
-#: the migration.
-SCHEMA_VERSION = 2
+#: emitted by ``repro lint --wcet --json``.  Version 3 added the
+#: I-cache rules (CACHE001-005) and the per-cell ``icache`` records
+#: emitted by ``repro lint --icache --json``; docs/linting.md
+#: documents both migrations.
+SCHEMA_VERSION = 3
 
 
 def rule_doc_url(rule_id: str) -> str:

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field, replace
 from typing import NamedTuple
 
 from ..isa import COND_NEGATE, COND_SWAP, Cond, Op, to_s32
+from ..isa.refs import ldc_pool_addr
 from ..machine.pipeline import PipelineModel
 from ..machine.stats import RunStats
 from .absint import (REG_LINK, REG_RET, REG_SP, AnalysisResult, Interval,
@@ -300,7 +301,7 @@ class _IterDomain:
             return
         if op == Op.LDC:
             self._set(state, instr.rd,
-                      self.cfg.read_word((pc & ~3) + imm))
+                      self.cfg.read_word(ldc_pool_addr(pc, imm)))
             return
         if op in (Op.ADD, Op.ADDI, Op.SUB, Op.SUBI):
             rhs = (imm & U32_MAX) if op in (Op.ADDI, Op.SUBI) else b
@@ -899,9 +900,16 @@ def _best_case(info: _FuncInfo, costs: dict[int, int]) -> int:
     return plain if collapsed is None else max(plain, collapsed)
 
 
-def _func_wcet(info: _FuncInfo, costs: dict[int, int]) -> int | None:
+def _func_wcet(info: _FuncInfo, costs: dict[int, int],
+               loop_extra: dict[int, int] | None = None) -> int | None:
     """Longest-path worst case after collapsing proven loops
-    innermost-first into ``bound x longest-iteration`` nodes."""
+    innermost-first into ``bound x longest-iteration`` nodes.
+
+    ``loop_extra`` charges an additional one-off cost per collapsed
+    loop (keyed by header): the I-cache composition uses it to bill
+    persistent fetch sites once per loop entry rather than once per
+    iteration.
+    """
     forest = info.forest
     proven = {lb.header: lb.max_header_execs
               for lb in info.timing.loops if lb.bounded}
@@ -942,6 +950,8 @@ def _func_wcet(info: _FuncInfo, costs: dict[int, int]) -> int | None:
             del node_succs[m]
             del node_cost[m]
         node_cost[head] = bound * longest
+        if loop_extra is not None:
+            node_cost[head] += loop_extra.get(loop.header, 0)
         node_succs[head] = externals
         for b in loop.body:
             alias[b] = head
@@ -1033,6 +1043,10 @@ class ProgramWcet:
     bcet: int
     wcet: int | None                          # None: unbounded
     findings: list[Finding] = field(default_factory=list)
+    #: Per-function structural info (blocks, loop forest, call sites),
+    #: keyed by function start -- the substrate other interprocedural
+    #: analyses (e.g. the I-cache classifier) compose over.
+    infos: dict = field(default_factory=dict, repr=False)
 
     @property
     def n_loops(self) -> int:
@@ -1305,7 +1319,7 @@ def analyze_wcet(exe_or_cfg, isa=None, *,
     findings.sort(key=lambda f: (f.location, f.rule))
     return ProgramWcet(cfg=cfg, bounds=bounds, functions=functions,
                        entry_func=entry_func, bcet=bcet, wcet=wcet,
-                       findings=findings)
+                       findings=findings, infos=infos)
 
 
 # ---------------------------------------------------------------------------

@@ -10,12 +10,8 @@ makes listings cross-referenceable with the binary linter's findings.
 from __future__ import annotations
 
 from ..isa import DecodingError, Instr, IsaSpec, Op, get_isa
+from ..isa.refs import ldc_pool_addr, transfer_target
 from .objfile import Executable
-
-#: Ops whose operand encodes a PC-relative displacement.
-_PCREL = (Op.BR, Op.BZ, Op.BNZ)
-#: Ops whose operand encodes an absolute word-scaled address.
-_ABS = (Op.JD, Op.JLD)
 
 
 def check_roundtrip(isa: IsaSpec, instr: Instr) -> str | None:
@@ -40,13 +36,9 @@ def check_roundtrip(isa: IsaSpec, instr: Instr) -> str | None:
 
 def _target_of(instr: Instr, address: int) -> int | None:
     """Absolute address referenced by a control/pool instruction."""
-    if instr.op in _PCREL:
-        return address + instr.imm
-    if instr.op in _ABS:
-        return instr.imm
     if instr.op == Op.LDC:
-        return (address & ~3) + instr.imm
-    return None
+        return ldc_pool_addr(address, instr.imm)
+    return transfer_target(address, instr)
 
 
 def disassemble(exe: Executable, *, start: int | None = None,

@@ -5,15 +5,17 @@ compile, run, trace, cache sweep -- plus the warm-artifact-cache rerun
 of each, compares the single-pass multi-configuration cache sweep
 against the seed's sequential scalar per-configuration sweep, and (via
 :func:`time_sim_engines`) times the whole benchmark suite under both
-execution engines, verifying their statistics agree cell by cell.  The
+execution engines, verifying their statistics agree cell by cell.
+:func:`time_analysis` adds the static-analysis stack (lint, WCET,
+I-cache classification + replay validation) to the same report.  The
 result dict is what ``scripts/bench_perf.py`` serializes into
 ``BENCH_repro.json``; ``scripts/check_perf_budget.py`` compares a fresh
 report against the committed one in CI.
 
 Wall-clock seconds are machine-specific, so the cross-machine perf
 trajectory is carried by the *ratio* metrics (``sim_speedup``,
-``cacheperf_speedup``): both sides of each ratio run on the same
-machine in the same process.
+``cacheperf_speedup``, ``icache_replay_speedup``): both sides of each
+ratio run on the same machine in the same process.
 """
 
 from __future__ import annotations
@@ -79,10 +81,87 @@ def time_sim_engines(*, targets=None, programs=None) -> dict:
     }
 
 
+def time_analysis(*, program: str = "assem", target: str = "d16",
+                  sizes=None) -> dict:
+    """Time the static-analysis stack over one benchmark cell.
+
+    Covers the three ``repro lint`` workloads -- the three-layer lint,
+    the whole-program WCET composition, and the I-cache
+    classification-plus-replay sweep -- as wall-clock trajectory
+    entries, plus one machine-independent ratio:
+    ``icache_replay_speedup`` compares the scalar and the vectorized
+    trace replay of :func:`repro.analysis.validate_icache` on the same
+    trace in the same process, guarding the first-demand compression
+    the soundness sweep leans on.
+    """
+    import os
+
+    from ..analysis import analyze_icache, analyze_wcet, lint_program
+    from ..analysis import validate_icache as validate
+    from ..cache.cache import CacheConfig
+    from ..cache.vector import ENGINE_ENV
+    from ..cc import get_target
+    from ..experiments import Lab
+    from ..experiments.cacheperf import CACHE_SIZES
+    from .suite import get_benchmark
+
+    sizes = tuple(sizes) if sizes is not None else CACHE_SIZES
+    bench = get_benchmark(program)
+    spec = get_target(target)
+    lab = Lab(cache=False)
+    seconds: dict[str, float] = {}
+
+    def clock(name, fn):
+        started = time.perf_counter()
+        value = fn()
+        seconds[name] = time.perf_counter() - started
+        return value
+
+    exe = lab.executable(program, target)
+    trace = lab.trace(program, target)
+    clock("analysis_lint", lambda: lint_program(bench.source, spec))
+    wcet = clock("analysis_wcet",
+                 lambda: analyze_wcet(exe, spec.isa, target=spec))
+
+    def icache_sweep():
+        for size in sizes:
+            analysis = analyze_icache(wcet, CacheConfig(size))
+            validate(analysis, trace.itrace, trace.run.stats, penalty=8)
+
+    clock("analysis_icache", icache_sweep)
+
+    # The ratio replays one configuration both ways on this trace.
+    analysis = analyze_icache(wcet, CacheConfig(sizes[-1]))
+    clock("icache_replay_vector", lambda: validate(
+        analysis, trace.itrace, trace.run.stats, penalty=8))
+    saved = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = "python"
+    try:
+        clock("icache_replay_scalar", lambda: validate(
+            analysis, trace.itrace, trace.run.stats, penalty=8))
+    finally:
+        if saved is None:
+            del os.environ[ENGINE_ENV]
+        else:
+            os.environ[ENGINE_ENV] = saved
+    return {
+        "analysis": {name: seconds[name]
+                     for name in ("analysis_lint", "analysis_wcet",
+                                  "analysis_icache")},
+        "analysis_total": (seconds["analysis_lint"]
+                           + seconds["analysis_wcet"]
+                           + seconds["analysis_icache"]),
+        "icache_configs": len(sizes),
+        "icache_replay_speedup": (seconds["icache_replay_scalar"]
+                                  / seconds["icache_replay_vector"]),
+    }
+
+
 def time_phases(*, program: str = "assem", target: str = "d16",
                 sizes=None, blocks=None,
                 sequential_baseline: bool = True,
                 sim_engines: bool = True,
+                analysis: bool = True,
                 cache_root=None) -> dict:
     """Time each pipeline phase; returns a JSON-serializable report.
 
@@ -117,7 +196,7 @@ def time_phases(*, program: str = "assem", target: str = "d16",
     grid = clock("cache_sweep_multi", lambda: simulate_caches_grid(
         trace.itrace, trace.dtrace, trace.run.stats, configs))
     report = {
-        "schema": 2,
+        "schema": 3,
         "toolchain": toolchain_fingerprint(),
         "program": program,
         "target": target,
@@ -127,6 +206,9 @@ def time_phases(*, program: str = "assem", target: str = "d16",
     }
     if sim_engines:
         report.update(time_sim_engines())
+    if analysis:
+        report.update(time_analysis(program=program, target=target,
+                                    sizes=sizes))
     if sequential_baseline:
         # The baseline is the *seed's* sweep: one scalar pure-Python
         # cache walk per configuration.  Forcing the python engine

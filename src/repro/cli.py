@@ -130,6 +130,11 @@ def _lint(args) -> int:
     timing_validations = None
     wcet_validations = None
     densities = None
+    icache_results = None
+    icache_sizes = None
+    if args.icache_sizes:
+        icache_sizes = tuple(int(s) for s in
+                             args.icache_sizes.split(","))
     if args.wcet:
         from .analysis import DEFAULT_SLACK
 
@@ -175,6 +180,24 @@ def _lint(args) -> int:
             densities = {(file, args.target): density}
             reports.append(LintReport(program=file, target=args.target,
                                       findings=density.findings))
+        if args.icache:
+            from .analysis import icache_program
+
+            cell = icache_program(
+                source, args.target, opt_level=args.opt,
+                include_runtime=not args.no_runtime,
+                sizes=icache_sizes, penalty=args.icache_penalty)
+            icache_results = {(file, args.target): cell}
+            cell_findings = []
+            seen = set()
+            for analysis, validation in cell:
+                for f in analysis.findings + validation.findings:
+                    key = (f.rule, f.location, f.message)
+                    if key not in seen:
+                        seen.add(key)
+                        cell_findings.append(f)
+            reports.append(LintReport(program=file, target=args.target,
+                                      findings=cell_findings))
         if args.cross_isa:
             from .analysis import check_cross_isa
 
@@ -184,8 +207,9 @@ def _lint(args) -> int:
                                       target="+".join(xisa.targets),
                                       findings=xisa.findings))
     else:
-        from .analysis import (cross_isa_suite, density_suite, lint_suite,
-                               timing_suite, wcet_suite)
+        from .analysis import (cross_isa_suite, density_suite,
+                               icache_suite, lint_suite, timing_suite,
+                               wcet_suite)
 
         targets = args.targets.split(",")
         reports = lint_suite(targets, names or None, opt_level=args.opt)
@@ -197,6 +221,11 @@ def _lint(args) -> int:
             wcet_reports, wcet_validations = wcet_suite(
                 targets, names or None, slack=args.wcet_slack)
             reports.extend(wcet_reports)
+        if args.icache:
+            icache_reports, icache_results = icache_suite(
+                targets, names or None, sizes=icache_sizes,
+                penalty=args.icache_penalty)
+            reports.extend(icache_reports)
         if args.density:
             density_target = "dlxe" if "dlxe" in targets else targets[0]
             density_reports, suite_densities = density_suite(
@@ -225,6 +254,11 @@ def _lint(args) -> int:
                  "loops_total": wv.program.n_loops,
                  "functions": wv.program.function_records()}
                 for (prog, tname), wv in sorted(wcet_validations.items())]
+        if icache_results:
+            extra["icache"] = [
+                dict(program=prog, target=tname, **v.to_record())
+                for (prog, tname), cell in sorted(icache_results.items())
+                for _a, v in cell]
         if densities:
             extra["density"] = [
                 {"program": prog, "target": tname,
@@ -269,6 +303,19 @@ def _lint(args) -> int:
                 print(f"wcet: {prog}/{tname}  {wv.observed_cycles}  "
                       f"[{wv.bcet}, {wcet}]  "
                       f"{wv.program.bounded_loops}/{wv.program.n_loops}")
+        if args.stats and icache_results:
+            print("icache: program/target  size  AH/AM/PS/NC  "
+                  "miss UB  sim misses  contradictions")
+            for (prog, tname), cell in sorted(icache_results.items()):
+                for analysis, v in cell:
+                    c = analysis.counts
+                    ub = analysis.miss_ub if analysis.miss_ub \
+                        is not None else "unbounded"
+                    print(f"icache: {prog}/{tname}  "
+                          f"{analysis.config.size}  "
+                          f"{c['always-hit']}/{c['always-miss']}/"
+                          f"{c['persistent']}/{c['not-classified']}  "
+                          f"{ub}  {v.sim_misses}  {v.contradictions}")
         if args.stats and densities:
             print("density: program/target  dlxe bytes  est d16 bytes  "
                   "ratio  fused pairs")
@@ -429,6 +476,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TIM005 when the finite interval is wider than "
                         "FACTOR x the observed cycles (default: 8.0; "
                         "pass 0 to disable)")
+    p.add_argument("--icache", action="store_true",
+                   help="classify instruction fetches per cache config "
+                        "(must/may/persistence) and validate against "
+                        "simulated replay (CACHE rules)")
+    p.add_argument("--icache-sizes", default=None, metavar="BYTES,...",
+                   help="comma-separated cache sizes for --icache "
+                        "(default: the cacheperf grid)")
+    p.add_argument("--icache-penalty", type=int, default=8,
+                   metavar="CYCLES",
+                   help="miss penalty for cache-aware WCET bounds "
+                        "(default: 8)")
     p.add_argument("--density", action="store_true",
                    help="estimate D16 compressibility of the 32-bit "
                         "image (DEN rules)")

@@ -289,6 +289,48 @@ class Lab:
                 f"whole-program cycle interval:\n{render_text(errors)}")
         self._wcet_checked.add(key)
 
+    def validate_icache(self, programs=None,
+                        targets: tuple[str, ...] = MAIN_TARGETS, *,
+                        sizes=None, block: int = 32, sub_block: int = 8,
+                        penalty: int = 8) -> dict:
+        """Soundness sweep of the static I-cache analysis.
+
+        Runs the must/may/persistence classification for every
+        (program, target) cell across the cache-size grid and replays
+        each cell's instruction trace as the oracle; raises
+        :class:`ExperimentError` when any always-hit fetch misses in
+        simulation, a simulated miss count exceeds its finite static
+        bound, or the analysis model diverges from the simulated cache
+        (CACHE001/002/004/005 errors).  Returns a summary dict for
+        reports and CI assertions.
+        """
+        from ..analysis import icache_suite, render_text
+        from ..analysis.findings import Severity
+
+        reports, results = icache_suite(
+            targets, programs, lab=self, sizes=sizes, block=block,
+            sub_block=sub_block, penalty=penalty)
+        errors = [f for r in reports for f in r.findings
+                  if f.severity == Severity.ERROR]
+        contradictions = sum(v.contradictions
+                             for cell in results.values()
+                             for _a, v in cell)
+        if errors or contradictions:
+            raise ExperimentError(
+                f"static I-cache analysis is unsound "
+                f"({contradictions} always-hit contradictions):\n"
+                f"{render_text(errors)}")
+        records = [v for cell in results.values() for _a, v in cell]
+        return {
+            "cells": len(results),
+            "records": len(records),
+            "finite_bounds": sum(1 for v in records
+                                 if v.miss_ub is not None),
+            "contradictions": contradictions,
+            "unattributed": sum(v.unattributed for v in records),
+            "penalty": penalty,
+        }
+
     def check_consistency(self, bench_name: str,
                           targets: tuple[str, str] = MAIN_TARGETS):
         """Cross-ISA consistency check for one benchmark's source.

@@ -12,11 +12,13 @@ from .common import (DecodingError, EncodingError, IsaError, sign_extend,
 from .instruction import Instr, make
 from .operations import (CONTROL_OPS, COND_NEGATE, COND_SWAP, D16_CONDS,
                          MNEMONIC_TO_OP, OP_INFO, Cond, Op, OpInfo, OpKind)
+from .refs import ldc_pool_addr, transfer_target
 from .spec import D16, DLXE, ISAS, IsaSpec, get_isa
 
 __all__ = [
     "CONTROL_OPS", "COND_NEGATE", "COND_SWAP", "D16", "D16_CONDS",
     "DLXE", "DecodingError", "EncodingError", "ISAS", "Instr", "IsaError",
     "IsaSpec", "MNEMONIC_TO_OP", "OP_INFO", "Cond", "Op", "OpInfo",
-    "OpKind", "get_isa", "make", "sign_extend", "to_s32", "to_u32",
+    "OpKind", "get_isa", "ldc_pool_addr", "make", "sign_extend", "to_s32",
+    "to_u32", "transfer_target",
 ]

@@ -1,0 +1,48 @@
+"""Shared address arithmetic for static references into the image.
+
+Two address computations recur in every layer that looks at linked
+binaries -- CFG recovery, disassembly, abstract interpretation, the
+WCET estimator, the I-cache analysis, and the simulator itself:
+
+* the literal-pool slot of a PC-relative constant load (``ldc``), and
+* the statically known target of a direct control transfer.
+
+Both were historically re-derived inline at each site; they live here
+so the code/data classification (which words of the text segment are
+pool data rather than instructions) is decided by exactly one formula
+everywhere.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instr
+from .operations import Op
+
+#: PC-relative branches with a statically known target.
+PCREL_BRANCHES = (Op.BR, Op.BZ, Op.BNZ)
+#: Direct (J-type) jumps/calls with an absolute target immediate.
+ABS_JUMPS = (Op.JD, Op.JLD)
+
+
+def ldc_pool_addr(pc: int, imm: int) -> int:
+    """Literal-pool word addressed by an ``ldc`` at ``pc``.
+
+    The displacement is relative to the *word-aligned* fetch address,
+    so a D16 ``ldc`` in the upper half of a word resolves identically
+    to one in the lower half.
+    """
+    return (pc & ~3) + imm
+
+
+def transfer_target(pc: int, instr: Instr) -> int | None:
+    """Statically known control-flow target of ``instr``, if any.
+
+    PC-relative branches resolve against the instruction address;
+    direct jumps carry an absolute byte address in the immediate.
+    Register-indirect transfers return ``None``.
+    """
+    if instr.op in PCREL_BRANCHES:
+        return pc + instr.imm
+    if instr.op in ABS_JUMPS:
+        return instr.imm
+    return None

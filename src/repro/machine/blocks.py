@@ -50,6 +50,7 @@ import struct
 from ..isa import Op, OpKind
 from ..isa.common import to_s32
 from ..isa.operations import CONTROL_OPS, Cond
+from ..isa.refs import ldc_pool_addr
 
 WORD_MASK = 0xFFFFFFFF
 
@@ -302,7 +303,7 @@ def _functional_lines(instr, addr, width, zero_r0, handler_name):
         }[op].format(a=rs1, i=imm)
         assign(expr)
     elif op == Op.LDC:
-        assign(f"RW({(addr & ~3) + imm})")
+        assign(f"RW({ldc_pool_addr(addr, imm)})")
     elif op in (Op.ST, Op.STH, Op.STB):
         writer = {Op.ST: "WW", Op.STH: "WH", Op.STB: "WB"}[op]
         lines.append(f"{writer}((g[{rs1}] + {imm}) & M, g[{rs2}])")

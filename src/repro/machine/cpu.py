@@ -28,6 +28,7 @@ from array import array
 from ..asm.objfile import Executable
 from ..isa import DecodingError, Instr, Op, OpKind, get_isa
 from ..isa.common import to_s32
+from ..isa.refs import ldc_pool_addr
 from ..isa.operations import Cond
 from .blocks import (HOT_THRESHOLD, CompiledBlock, NoProgress,
                      _clamp_s32, _f32_bits_to_float, _f64_bits_to_float,
@@ -502,7 +503,7 @@ class Machine:
             return load
         if op == Op.LDC:
             def ldc(pc):
-                addr = (pc & ~3) + imm
+                addr = ldc_pool_addr(pc, imm)
                 value = mem.read_word(addr)
                 if m.dtrace is not None:
                     m.dtrace.append(addr)

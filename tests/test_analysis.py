@@ -435,8 +435,9 @@ class TestJsonSchema:
             [finding("ABS002", "text:0x1000", "seeded error"),
              finding("ABS004", "text:0x1004", "seeded warning")]))
         # v2 added the loop/WCET rules and the --wcet/--density JSON
-        # extras (docs/linting.md documents the migration).
-        assert SCHEMA_VERSION == 2
+        # extras; v3 added the CACHE rules and the --icache extras
+        # (docs/linting.md documents both migrations).
+        assert SCHEMA_VERSION == 3
         assert payload["schema_version"] == SCHEMA_VERSION
         assert set(payload) >= {"schema_version", "findings", "summary",
                                 "rules"}
@@ -467,7 +468,7 @@ class TestJsonSchema:
 
         assert main(["lint", "ackermann", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
 
 
 class TestExitCodes:

@@ -59,5 +59,6 @@ class TestRatios:
 
     def test_fetch_rate_decreases_with_latency(self):
         stats = make_stats()
-        rates = [fetches_per_cycle(stats, latency=l) for l in range(4)]
+        rates = [fetches_per_cycle(stats, latency=lat)
+                 for lat in range(4)]
         assert rates == sorted(rates, reverse=True)
