@@ -12,11 +12,12 @@ Phases timed (see :mod:`repro.bench.timing`):
                                         -- the whole benchmark suite under
                                            the per-instruction and the
                                            block-compiled engine;
-* ``analysis_lint`` / ``analysis_wcet`` / ``analysis_icache``
-                                        -- the static-analysis stack over
+* ``analysis_lint`` / ``analysis_wcet`` / ``analysis_icache`` /
+  ``analysis_tv``                       -- the static-analysis stack over
                                            the same cell (three-layer lint,
                                            WCET composition, I-cache
-                                           classification + replay).
+                                           classification + replay, and the
+                                           translation-validation sweep).
 
 ``cacheperf_speedup``, ``sim_speedup``, and ``icache_replay_speedup``
 record the corresponding ratios so the perf trajectory is tracked

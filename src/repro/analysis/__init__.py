@@ -26,6 +26,10 @@ Several layers keep the density/path-length experiments honest:
   estimate of DLXe images, instruction by instruction (DEN001);
 * :mod:`~repro.analysis.xisa` — cross-ISA consistency of the same
   source compiled for D16 and DLXe (XISA rules);
+* :mod:`~repro.analysis.symex` + :mod:`~repro.analysis.equiv` —
+  solver-free symbolic execution over the compiler IR and both
+  machine ISAs, driving per-pass translation validation of the
+  optimizer and IR-vs-binary observable-effect matching (EQ rules);
 
 with :mod:`~repro.analysis.driver` orchestrating them over programs
 and benchmark suites, feeding ``repro lint``.
@@ -41,8 +45,11 @@ from .driver import (DEFAULT_MISS_PENALTY, DEFAULT_TARGETS, EXIT_ERRORS,
                      EXIT_INTERNAL, EXIT_OK, LintReport, cross_isa_suite,
                      density_suite, exit_code, icache_program,
                      icache_suite, lint_program, lint_suite,
-                     timing_program, timing_suite, wcet_program,
-                     wcet_suite)
+                     timing_program, timing_suite, tv_suite,
+                     wcet_program, wcet_suite)
+from .equiv import (BinaryCheck, MutantResult, PassCheck, TvReport,
+                    check_binary_program, check_pass, mutation_campaign,
+                    tv_program, validate_passes)
 from .findings import (Finding, RULES, Rule, SCHEMA_VERSION, Severity,
                        finding, has_errors, render_json, render_text,
                        rule_doc_url, summarize)
@@ -56,32 +63,44 @@ from .timing import (BlockBounds, StaticBounds, TimingValidation,
 from .wcet import (DEFAULT_SLACK, FunctionTiming, LoopBound, ProgramWcet,
                    WcetValidation, analyze_wcet, check_wcet,
                    infer_loop_bound, validate_wcet)
+from .symex import (Leaf, Term, Unknown, explore_region, ground_leaves,
+                    is_ground, single_def_terms,
+                    summarize_binary_function, summarize_ir_function)
 from .xisa import (CrossIsaReport, analyze_source, check_cross_isa,
                    compare_analyses)
 
 __all__ = [
-    "AnalysisResult", "BasicBlock", "BinaryCFG", "BlockBounds",
+    "AnalysisResult", "BasicBlock", "BinaryCFG", "BinaryCheck",
+    "BlockBounds",
     "CrossIsaReport", "DEFAULT_MISS_PENALTY", "DEFAULT_SLACK",
     "DEFAULT_TARGETS", "DomTree",
     "EXIT_ERRORS", "EXIT_INTERNAL", "EXIT_OK", "FetchSite", "Finding",
     "FunctionDensity", "FunctionSummary", "FunctionTiming",
-    "ICacheAnalysis", "ICacheValidation", "Interval",
-    "LintReport", "Loop", "LoopBound", "LoopForest", "ProgramDensity",
+    "ICacheAnalysis", "ICacheValidation", "Interval", "Leaf",
+    "LintReport", "Loop", "LoopBound", "LoopForest", "MutantResult",
+    "PassCheck", "ProgramDensity",
     "ProgramWcet", "RULES", "Rule", "SCHEMA_VERSION", "SPRel",
-    "Severity", "SiteClass", "StaticBounds", "TimingValidation",
+    "Severity", "SiteClass", "StaticBounds", "Term",
+    "TimingValidation", "TvReport", "Unknown",
     "ValueDomain",
     "WcetValidation", "analyze_density", "analyze_executable",
     "analyze_icache",
     "analyze_source", "analyze_wcet", "block_stall_bounds", "build_cfg",
-    "check_cross_isa", "check_timing", "check_wcet", "compare_analyses",
+    "check_binary_program", "check_cross_isa", "check_pass",
+    "check_timing", "check_wcet", "compare_analyses",
     "cross_isa_suite", "density_suite", "dominator_tree",
-    "estimate_halfwords", "exit_code", "exit_seed", "find_loops",
-    "finding", "fused_constant_pair", "has_errors", "icache_program",
-    "icache_suite", "infer_loop_bound",
+    "estimate_halfwords", "exit_code", "exit_seed", "explore_region",
+    "find_loops",
+    "finding", "fused_constant_pair", "ground_leaves", "has_errors",
+    "icache_program",
+    "icache_suite", "infer_loop_bound", "is_ground",
     "lint_assembly", "lint_executable", "lint_program", "lint_suite",
+    "mutation_campaign",
     "predecessor_seed", "render_json", "render_text", "resolve_cfg",
-    "rule_doc_url", "solve", "static_bounds", "summarize",
-    "timing_program", "timing_suite", "validate_icache", "validate_run",
+    "rule_doc_url", "single_def_terms", "solve", "static_bounds",
+    "summarize", "summarize_binary_function", "summarize_ir_function",
+    "timing_program", "timing_suite", "tv_program", "tv_suite",
+    "validate_icache", "validate_passes", "validate_run",
     "validate_wcet",
     "verify_function", "verify_module", "wcet_program", "wcet_suite",
 ]

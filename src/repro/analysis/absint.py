@@ -39,9 +39,10 @@ feeds the cross-ISA consistency checker in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 from ..asm.objfile import Executable
+from ..cc.target import TargetSpec
 from ..isa import DecodingError, Instr, IsaSpec, Op
 from ..isa.common import to_s32
 from ..isa.operations import Cond
@@ -91,6 +92,10 @@ class SPRel:
 #: The unknown value (absent from the state dict).
 TOP = None
 
+#: An abstract register value: an interval, a stack-pointer offset, or
+#: TOP (``None`` — unknown, absent from the state dict).
+Value = Interval | SPRel | None
+
 FULL = Interval(0, U32_MAX)
 BIT = Interval(0, 1)
 
@@ -100,7 +105,7 @@ def const(value: int) -> Interval:
     return Interval(value, value)
 
 
-def _norm(lo: int, hi: int):
+def _norm(lo: int, hi: int) -> Interval | None:
     """Wrap an unbounded integer range into u32 space (TOP on straddle)."""
     if hi - lo >= U32:
         return TOP
@@ -109,7 +114,7 @@ def _norm(lo: int, hi: int):
     return TOP
 
 
-def _join_value(a, b):
+def _join_value(a: Value, b: Value) -> Value:
     if a is TOP or b is TOP:
         return TOP
     if isinstance(a, SPRel) or isinstance(b, SPRel):
@@ -175,7 +180,7 @@ def eval_cond(cond: Cond, a: Interval, b: Interval) -> bool | None:
 # ---------------------------------------------------------------------------
 
 
-def solve(blocks: dict[int, BasicBlock], entry: int, domain, *,
+def solve(blocks: dict[int, BasicBlock], entry: int, domain: Any, *,
           widen_after: int = WIDEN_AFTER) -> dict[int, object]:
     """Run ``domain`` to a fixpoint; returns block-entry states.
 
@@ -288,14 +293,15 @@ class ValueDomain:
 
     # ------------------------------------------------------ state access
 
-    def _get(self, state: dict, reg: int):
+    def _get(self, state: dict, reg: int | None) -> Value:
         if reg is None:
             return TOP
         if reg == 0 and self.zero_r0:
             return const(0)
         return state.get(reg)
 
-    def _set(self, state: dict, reg: int, value) -> None:
+    def _set(self, state: dict, reg: int,
+             value: Value) -> None:
         if reg == 0 and self.zero_r0:
             return                        # writes to DLXe r0 are discarded
         if value is TOP:
@@ -306,7 +312,7 @@ class ValueDomain:
     # ---------------------------------------------------------- transfer
 
     def transfer(self, block: BasicBlock, state: dict,
-                 report=None) -> dict:
+                 report: _Reporter | None = None) -> dict:
         state = dict(state)
         for pc, instr in block.instrs:
             self._step(pc, instr, state, report)
@@ -326,7 +332,7 @@ class ValueDomain:
         return out
 
     def _call_clobber(self, state: dict, block: BasicBlock,
-                      report) -> None:
+                      report: _Reporter | None) -> None:
         for reg in list(state):
             if reg == REG_SP or reg in self.preserved \
                     or (reg == 0 and self.zero_r0) \
@@ -334,7 +340,8 @@ class ValueDomain:
                 continue
             del state[reg]
 
-    def _step(self, pc: int, instr: Instr, state: dict, report) -> None:
+    def _step(self, pc: int, instr: Instr, state: dict,
+              report: _Reporter | None) -> None:
         op = instr.op
         get = self._get
         a = get(state, instr.rs1)
@@ -441,7 +448,7 @@ class ValueDomain:
         return
 
 
-def _add_sub(a, b, sub: bool):
+def _add_sub(a: Value, b: Value, sub: bool) -> Value:
     if isinstance(a, SPRel) and isinstance(b, SPRel):
         return const(a.delta - b.delta) if sub else TOP
     if isinstance(a, SPRel) or isinstance(b, SPRel):
@@ -460,7 +467,7 @@ def _add_sub(a, b, sub: bool):
     return _norm(a.lo + b.lo, a.hi + b.hi)
 
 
-def _bitwise(op, a, b):
+def _bitwise(op: Op, a: Value, b: Value) -> Value:
     if not (isinstance(a, Interval) and isinstance(b, Interval)):
         return TOP
     if a.is_const and b.is_const:
@@ -474,7 +481,7 @@ def _bitwise(op, a, b):
     return TOP
 
 
-def _shift(op, a, b):
+def _shift(op: Op, a: Value, b: Value) -> Value:
     if not (isinstance(a, Interval) and isinstance(b, Interval)) \
             or not b.is_const:
         return TOP
@@ -488,7 +495,7 @@ def _shift(op, a, b):
     return TOP
 
 
-def _muldiv(op, a, b):
+def _muldiv(op: Op, a: Value, b: Value) -> Value:
     if not (isinstance(a, Interval) and isinstance(b, Interval)):
         return TOP
     if op == Op.MUL:
@@ -568,7 +575,8 @@ class _Reporter:
         self.result.findings.append(
             finding(rule, self.cfg.describe(pc), message))
 
-    def check_memory(self, pc: int, instr, base_value) -> None:
+    def check_memory(self, pc: int, instr: Instr,
+                     base_value: Value) -> None:
         size = _MEM_SIZES[instr.op]
         if not isinstance(base_value, Interval):
             return
@@ -586,7 +594,8 @@ class _Reporter:
                 f"'{instr}' accesses {addr.lo:#x}, provably misaligned "
                 f"for a {size}-byte transfer")
 
-    def check_branch(self, pc: int, instr, test_value) -> None:
+    def check_branch(self, pc: int, instr: Instr,
+                     test_value: Value) -> None:
         if not isinstance(test_value, Interval):
             return
         always_zero = test_value == const(0)
@@ -599,8 +608,8 @@ class _Reporter:
             f"'{instr}' is provably {'always' if taken else 'never'} "
             f"taken (test register is {test_value!r})")
 
-    def check_indirect(self, pc: int, instr, target_value,
-                       state) -> None:
+    def check_indirect(self, pc: int, instr: Instr,
+                       target_value: Value, state: dict) -> None:
         cfg = self.cfg
         if instr.op == Op.JL:
             if isinstance(target_value, Interval) and target_value.is_const:
@@ -655,7 +664,7 @@ class _Reporter:
 
 def analyze_executable(exe: Executable, isa: IsaSpec, *,
                        symbols: dict[str, int] | None = None,
-                       target=None,
+                       target: TargetSpec | None = None,
                        mem_limit: int = DEFAULT_MEM_SIZE,
                        cfg: BinaryCFG | None = None) -> AnalysisResult:
     """Run the value/stack analysis over every function of an image.
@@ -703,7 +712,7 @@ def analyze_executable(exe: Executable, isa: IsaSpec, *,
 
 def resolve_cfg(exe: Executable, isa: IsaSpec, *,
                 symbols: dict[str, int] | None = None,
-                target=None,
+                target: TargetSpec | None = None,
                 mem_limit: int = DEFAULT_MEM_SIZE,
                 max_rounds: int = 64,
                 ) -> tuple[BinaryCFG, AnalysisResult]:

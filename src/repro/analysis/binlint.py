@@ -30,7 +30,10 @@ when a function stores the register for unrelated reasons.
 from __future__ import annotations
 
 from ..asm.assembler import AsmError, Assembler
+from collections.abc import Iterator
+
 from ..asm.objfile import Executable
+from ..cc.target import TargetSpec
 from ..isa import DecodingError, IsaSpec, OP_INFO, Op
 from .cfg import BinaryCFG, CALL_OPS, build_cfg
 from .findings import Finding, finding
@@ -61,7 +64,7 @@ def lint_assembly(source: str, isa: IsaSpec) -> list[Finding]:
 
 def lint_executable(exe: Executable, isa: IsaSpec, *,
                     symbols: dict[str, int] | None = None,
-                    target=None,
+                    target: TargetSpec | None = None,
                     cfg: BinaryCFG | None = None) -> list[Finding]:
     """Lint a linked image; see the module docstring for the rules.
 
@@ -123,7 +126,7 @@ def lint_executable(exe: Executable, isa: IsaSpec, *,
     return out
 
 
-def _unreachable_runs(cfg: BinaryCFG):
+def _unreachable_runs(cfg: BinaryCFG) -> Iterator[Finding]:
     """BIN005 warnings, merged into contiguous address runs.
 
     Only decodable words count: pool slack, alignment padding, and
@@ -155,7 +158,8 @@ def _unreachable_runs(cfg: BinaryCFG):
             f"entry point and every function")
 
 
-def _lint_calling_convention(cfg: BinaryCFG, target):
+def _lint_calling_convention(cfg: BinaryCFG,
+                             target: TargetSpec) -> Iterator[Finding]:
     """CC001/CC002 over each function's visited instructions."""
     for start, name in cfg.funcs:
         _start, span_end = cfg.func_span(start)

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..isa import COND_NEGATE, D16_CONDS, Instr, Op
+from ..asm.objfile import Executable
+from ..isa import COND_NEGATE, D16_CONDS, Instr, IsaSpec, Op
 from ..isa.common import fits_signed, fits_unsigned
 from ..isa.d16 import (MAX_MEM_OFFSET, MVI_IMM_BITS, RI_IMM_BITS,
                        UNSUPPORTED_OPS)
@@ -136,7 +137,7 @@ class FunctionDensity:
         return self.dlxe_bytes / self.est_d16_bytes \
             if self.est_d16_bytes else 1.0
 
-    def to_record(self) -> dict:
+    def to_record(self) -> dict[str, object]:
         return {"name": self.name, "start": self.start,
                 "instrs": self.n_instrs, "dlxe_bytes": self.dlxe_bytes,
                 "est_d16_bytes": self.est_d16_bytes,
@@ -169,12 +170,13 @@ class ProgramDensity:
         return self.dlxe_bytes / self.est_d16_bytes \
             if self.est_d16_bytes else 1.0
 
-    def function_records(self) -> list[dict]:
+    def function_records(self) -> list[dict[str, object]]:
         return [self.functions[start].to_record()
                 for start in sorted(self.functions)]
 
 
-def analyze_density(exe_or_cfg, isa=None, *,
+def analyze_density(exe_or_cfg: Executable | BinaryCFG,
+                    isa: IsaSpec | None = None, *,
                     symbols: dict[str, int] | None = None) -> ProgramDensity:
     """Estimate the D16 compressibility of a DLXe image's functions.
 
@@ -186,6 +188,8 @@ def analyze_density(exe_or_cfg, isa=None, *,
     if isinstance(exe_or_cfg, BinaryCFG):
         cfg = exe_or_cfg
     else:
+        if isa is None:
+            raise ValueError("isa is required with a raw executable")
         cfg = build_cfg(exe_or_cfg, isa, symbols=symbols)
     report = ProgramDensity(cfg=cfg, functions={})
     if cfg.isa.name != "DLXe":

@@ -6,12 +6,15 @@ checks, binary-level lint, and abstract interpretation of the linked
 image — and returns the accumulated findings.  :func:`lint_suite` fans
 that out over benchmark programs and targets, producing one
 :class:`LintReport` per cell.  :func:`timing_suite`,
-:func:`wcet_suite`, :func:`density_suite`, and :func:`cross_isa_suite`
-run the semantic modes behind ``repro lint --timing`` / ``--wcet`` /
-``--density`` / ``--cross-isa``: static cycle-bound cross-validation
-against the simulator, whole-program [BCET, WCET] interval
-composition, D16-compressibility estimation of DLXe images, and
-D16-vs-DLXe consistency checking.
+:func:`wcet_suite`, :func:`density_suite`, :func:`cross_isa_suite`,
+and :func:`tv_suite` run the semantic modes behind ``repro lint
+--timing`` / ``--wcet`` / ``--density`` / ``--cross-isa`` / ``--tv``:
+static cycle-bound cross-validation against the simulator,
+whole-program [BCET, WCET] interval composition, D16-compressibility
+estimation of DLXe images, D16-vs-DLXe consistency checking, and
+per-pass + IR-vs-binary translation validation.  ``repro lint --all``
+runs every mode in one invocation and merges the reports under the
+shared exit-code contract.
 
 Exit-code semantics (:func:`exit_code`): ``0`` when every finding is a
 warning or less, ``1`` when any error-severity finding exists, ``2``
@@ -22,11 +25,12 @@ so CI can distinguish "the program is bad" from "the linter is broken".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..asm import AsmError, Assembler, link
 from ..bench import SUITE, get_benchmark
 from ..cc import TargetSpec, get_target
+from ..machine.pipeline import PipelineParams
 from ..cc.codegen import generate_assembly
 from ..cc.irgen import lower_program
 from ..cc.opt import PassVerificationError, optimize_module
@@ -45,6 +49,9 @@ from .timing import (TimingValidation, check_timing, static_bounds,
 from .wcet import (DEFAULT_SLACK, WcetValidation, _promote_direct_calls,
                    analyze_wcet, validate_wcet)
 from .xisa import check_cross_isa
+
+if TYPE_CHECKING:
+    from ..experiments.runner import Lab
 
 #: The two headline machines, linted by default.
 DEFAULT_TARGETS = ("d16", "dlxe")
@@ -157,7 +164,7 @@ def lint_suite(targets: Iterable[str] = DEFAULT_TARGETS,
 def timing_program(source: str, target: TargetSpec | str, *,
                    opt_level: int = 2,
                    include_runtime: bool = True,
-                   params=None) -> TimingValidation:
+                   params: PipelineParams | None = None) -> TimingValidation:
     """Compile, simulate, and validate static cycle bounds for one
     program: the simulator's interlock total must land inside the
     CFG-aggregated per-block [lower, upper] stall bounds (TIM001 on
@@ -182,7 +189,7 @@ def timing_program(source: str, target: TargetSpec | str, *,
 
 def timing_suite(targets: Iterable[str] = DEFAULT_TARGETS,
                  programs: Iterable[str] | None = None, *,
-                 params=None, lab=None,
+                 params: PipelineParams | None = None, lab: Lab | None = None,
                  ) -> tuple[list[LintReport], dict]:
     """Cross-validate static bounds on the benchmark suite.
 
@@ -218,7 +225,7 @@ def timing_suite(targets: Iterable[str] = DEFAULT_TARGETS,
 def wcet_program(source: str, target: TargetSpec | str, *,
                  opt_level: int = 2,
                  include_runtime: bool = True,
-                 params=None,
+                 params: PipelineParams | None = None,
                  slack: float | None = DEFAULT_SLACK) -> WcetValidation:
     """Compile, simulate, and bracket one program's cycle count with
     the whole-program static interval: loop recovery, bound inference,
@@ -246,7 +253,7 @@ def wcet_program(source: str, target: TargetSpec | str, *,
 
 def wcet_suite(targets: Iterable[str] = DEFAULT_TARGETS,
                programs: Iterable[str] | None = None, *,
-               params=None, lab=None,
+               params: PipelineParams | None = None, lab: Lab | None = None,
                slack: float | None = DEFAULT_SLACK,
                ) -> tuple[list[LintReport], dict]:
     """Bracket every benchmark cell with the whole-program interval.
@@ -286,7 +293,7 @@ DEFAULT_MISS_PENALTY = 8
 def icache_program(source: str, target: TargetSpec | str, *,
                    opt_level: int = 2,
                    include_runtime: bool = True,
-                   params=None,
+                   params: PipelineParams | None = None,
                    sizes: Iterable[int] | None = None,
                    block: int = 32, sub_block: int = 8,
                    penalty: int = DEFAULT_MISS_PENALTY,
@@ -325,7 +332,7 @@ def icache_program(source: str, target: TargetSpec | str, *,
 
 def icache_suite(targets: Iterable[str] = DEFAULT_TARGETS,
                  programs: Iterable[str] | None = None, *,
-                 params=None, lab=None,
+                 params: PipelineParams | None = None, lab: Lab | None = None,
                  sizes: Iterable[int] | None = None,
                  block: int = 32, sub_block: int = 8,
                  penalty: int = DEFAULT_MISS_PENALTY,
@@ -382,7 +389,7 @@ def icache_suite(targets: Iterable[str] = DEFAULT_TARGETS,
 
 
 def density_suite(programs: Iterable[str] | None = None, *,
-                  target: str = "dlxe", lab=None,
+                  target: str = "dlxe", lab: Lab | None = None,
                   ) -> tuple[list[LintReport], dict]:
     """Estimate D16 compressibility of every DLXe benchmark image.
 
@@ -410,6 +417,37 @@ def density_suite(programs: Iterable[str] | None = None, *,
         reports.append(LintReport(program=name, target=target,
                                   findings=density.findings))
     return reports, densities
+
+
+def tv_suite(programs: Iterable[str] | None = None, *,
+             targets: tuple[str, ...] = DEFAULT_TARGETS,
+             opt_level: int = 2,
+             ) -> tuple[list[LintReport], dict]:
+    """Translation-validate the benchmark suite (``repro lint --tv``).
+
+    Runs both layers per program — symbolic equivalence of every
+    optimizer pass application and IR-vs-binary observable-effect
+    summaries on each target — and returns ``(reports, results)``
+    where ``results`` maps the program name to its
+    :class:`~repro.analysis.equiv.TvReport`.  Pass-level validation is
+    a property of the IR pipeline, so (like the cross-ISA mode) each
+    program gets one report whose target column carries the pair.
+    """
+    from .equiv import tv_program
+
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    pair = "+".join(targets)
+    reports: list[LintReport] = []
+    results: dict[str, object] = {}
+    for name in names:
+        bench = get_benchmark(name)
+        report = tv_program(bench.source, name, targets=targets,
+                            opt_level=opt_level)
+        results[name] = report
+        reports.append(LintReport(program=name, target=pair,
+                                  findings=report.findings))
+    return reports, results
 
 
 def cross_isa_suite(programs: Iterable[str] | None = None, *,

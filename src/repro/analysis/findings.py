@@ -96,6 +96,16 @@ RULES: dict[str, Rule] = {r.id: r for r in (
                                      "between analysis and replay"),
     Rule("CACHE005", Severity.ERROR, "prefetch model diverges from "
                                      "the simulated cache"),
+    # Translation validation (repro.analysis.equiv / symex)
+    Rule("EQ001", Severity.WARNING, "optimizer pass application not "
+                                    "proven equivalent"),
+    Rule("EQ002", Severity.ERROR, "optimizer pass application provably "
+                                  "changes behavior"),
+    Rule("EQ003", Severity.WARNING, "binary summary not proven against "
+                                    "the IR"),
+    Rule("EQ004", Severity.ERROR, "binary observable behavior diverges "
+                                  "from the IR"),
+    Rule("EQ005", Severity.INFO, "translation-validation statistics"),
 )}
 
 #: Version of the JSON report layout produced by :func:`render_json`.
@@ -104,9 +114,12 @@ RULES: dict[str, Rule] = {r.id: r for r in (
 #: to the ``rules`` metadata and the per-function ``bounds`` records
 #: emitted by ``repro lint --wcet --json``.  Version 3 added the
 #: I-cache rules (CACHE001-005) and the per-cell ``icache`` records
-#: emitted by ``repro lint --icache --json``; docs/linting.md
-#: documents both migrations.
-SCHEMA_VERSION = 3
+#: emitted by ``repro lint --icache --json``.  Version 4 added the
+#: translation-validation rules (EQ001-005), the per-cell ``tv``
+#: records emitted by ``repro lint --tv --json``, and the aggregate
+#: ``modes`` map emitted by ``repro lint --all --json``; docs/linting.md
+#: documents every migration.
+SCHEMA_VERSION = 4
 
 
 def rule_doc_url(rule_id: str) -> str:
@@ -162,7 +175,7 @@ def render_text(findings: Iterable[Finding]) -> str:
     return "\n".join(f.format() for f in findings)
 
 
-def render_json(findings: Iterable[Finding], **extra) -> str:
+def render_json(findings: Iterable[Finding], **extra: object) -> str:
     """Machine-readable report (schema locked by ``SCHEMA_VERSION``).
 
     Top-level keys: ``schema_version``, ``findings`` (list of finding

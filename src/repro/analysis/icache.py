@@ -47,9 +47,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, NamedTuple
+from typing import Iterable, NamedTuple, Sequence
 
 from ..cache.cache import Cache, CacheConfig
+from ..machine.stats import RunStats
+from .cfg import BasicBlock
 from .findings import Finding, finding
 from .wcet import ProgramWcet, _call_sccs, _FuncInfo, _func_wcet
 
@@ -127,11 +129,16 @@ class _State:
 
     __slots__ = ("must", "may", "cold")
 
-    def __init__(self, must=None, may=None, cold: bool = False):
+    def __init__(self,
+                 must: dict[int, tuple[int, int] | None] | None = None,
+                 may: dict[int, dict[int, int] | None] | None = None,
+                 cold: bool = False):
         # must: line -> (tag, submask) | None (no guarantee)
         # may:  line -> {tag: submask} | None (anything possible)
-        self.must: dict = must if must is not None else {}
-        self.may: dict = may if may is not None else {}
+        self.must: dict[int, tuple[int, int] | None] = \
+            must if must is not None else {}
+        self.may: dict[int, dict[int, int] | None] = \
+            may if may is not None else {}
         self.cold = cold
 
     def copy(self) -> _State:
@@ -140,12 +147,12 @@ class _State:
                        for ln, v in self.may.items()},
                       self.cold)
 
-    def must_at(self, line: int):
+    def must_at(self, line: int) -> tuple[int, int] | None:
         if line in self.must:
             return self.must[line]
         return (_EMPTY_TAG, 0) if self.cold else None
 
-    def may_at(self, line: int):
+    def may_at(self, line: int) -> dict[int, int] | None:
         if line in self.may:
             return self.may[line]
         return {} if self.cold else None
@@ -169,12 +176,13 @@ class _State:
         for line in [ln for ln, v in self.must.items()
                      if v == must_default]:
             del self.must[line]
-        may_default: dict | None = {} if self.cold else None
+        may_default: dict[int, int] | None = \
+            {} if self.cold else None
         for line in [ln for ln, v in self.may.items()
                      if v == may_default]:
             del self.may[line]
 
-    def key(self):
+    def key(self) -> tuple[object, ...]:
         """Hashable snapshot for fixpoint convergence checks."""
         return (self.cold, tuple(sorted(self.must.items())),
                 tuple(sorted(
@@ -244,7 +252,7 @@ def _access(state: _State, site: FetchSite,
 # ---------------------------------------------------------------------------
 
 
-def _block_word_runs(block) -> list[tuple[int, int]]:
+def _block_word_runs(block: BasicBlock) -> list[tuple[int, int]]:
     """(first pc, word) of each consecutive-word run of a block.
 
     This is the static image of the simulator's fetch-stream word
@@ -681,7 +689,9 @@ class ICacheValidation:
         return record
 
 
-def _replay_vector(analysis: ICacheAnalysis, itrace, config, findings):
+def _replay_vector(analysis: ICacheAnalysis, itrace: Sequence[int],
+                   config: CacheConfig, findings: list[Finding],
+                   ) -> tuple[int, int, int, int]:
     """Numpy replay: first-demand walk with pc attribution."""
     from ..cache import vector
     _np = vector._np
@@ -739,7 +749,9 @@ def _replay_vector(analysis: ICacheAnalysis, itrace, config, findings):
     return oracle.read_accesses, misses, contradictions, unattributed
 
 
-def _replay_scalar(analysis: ICacheAnalysis, itrace, config, findings):
+def _replay_scalar(analysis: ICacheAnalysis, itrace: Sequence[int],
+                   config: CacheConfig, findings: list[Finding],
+                   ) -> tuple[int, int, int, int]:
     """Pure-Python replay: full deduped walk with pc attribution."""
     model = _ModelCache(config)
     real = Cache(config)
@@ -778,7 +790,8 @@ def _replay_scalar(analysis: ICacheAnalysis, itrace, config, findings):
     return fetches, misses, contradictions, unattributed
 
 
-def validate_icache(analysis: ICacheAnalysis, itrace, stats, *,
+def validate_icache(analysis: ICacheAnalysis, itrace: Sequence[int],
+                    stats: RunStats, *,
                     penalty: int,
                     config: CacheConfig | None = None,
                     ) -> ICacheValidation:

@@ -23,9 +23,12 @@ skip the per-type class checks.
 
 from __future__ import annotations
 
-from ..cc.ir import (AddrGlobal, AddrStack, Bin, CJump, Cmp, Const, Cvt,
-                     FCmp, FConst, FLoad, FStore, Function, Load, Module,
-                     Move, Ret, StackSlot, Store, TERMINATORS, Un, VReg)
+from collections.abc import Iterator
+
+from ..cc.ir import (AddrGlobal, AddrStack, Bin, Block, CJump, Cmp, Const,
+                     Cvt, FCmp, FConst, FLoad, FStore, Function, Inst, Load,
+                     Module, Move, Ret, StackSlot, Store, TERMINATORS, Un,
+                     VReg)
 from .findings import Finding, finding
 
 _INT_BIN = {"add", "sub", "mul", "div", "rem", "and", "or", "xor",
@@ -35,7 +38,7 @@ _CVT_SIG = {"i2f": ("i", "f"), "i2d": ("i", "d"), "f2i": ("f", "i"),
             "d2i": ("d", "i"), "f2d": ("f", "d"), "d2f": ("d", "f")}
 
 
-def _is_terminator(inst) -> bool:
+def _is_terminator(inst: Inst) -> bool:
     return isinstance(inst, TERMINATORS) or hasattr(inst, "if_true")
 
 
@@ -90,7 +93,8 @@ def verify_module(module: Module) -> list[Finding]:
     return out
 
 
-def _reachable(func: Function, block_map) -> set[str]:
+def _reachable(func: Function,
+               block_map: dict[str, Block]) -> set[str]:
     seen: set[str] = set()
     stack = [func.blocks[0].label]
     while stack:
@@ -105,7 +109,8 @@ def _reachable(func: Function, block_map) -> set[str]:
 # -------------------------------------------------------- def-before-use
 
 
-def _check_defs(func: Function, block_map, reachable) -> list[Finding]:
+def _check_defs(func: Function, block_map: dict[str, Block],
+                reachable: set[str]) -> list[Finding]:
     """Forward must-be-defined dataflow over vreg ids.
 
     ``IN[entry]`` is the parameter set; ``IN[b]`` is the intersection of
@@ -162,7 +167,7 @@ def _check_defs(func: Function, block_map, reachable) -> list[Finding]:
     return out_findings
 
 
-def _block_defs(block) -> set[int]:
+def _block_defs(block: Block) -> set[int]:
     defs: set[int] = set()
     for inst in block.instrs:
         defs.update(d.id for d in inst.defs())
@@ -186,7 +191,7 @@ def _check_classes(func: Function) -> list[Finding]:
     cls_of: dict[int, tuple[str, str]] = {
         p.id: (p.cls, f"{func.name} parameter") for p in func.params}
 
-    def note(reg: VReg, loc: str):
+    def note(reg: VReg, loc: str) -> None:
         seen = cls_of.get(reg.id)
         if seen is None:
             cls_of[reg.id] = (reg.cls, loc)
@@ -206,7 +211,7 @@ def _check_classes(func: Function) -> list[Finding]:
     return out
 
 
-def _class_errors(inst):
+def _class_errors(inst: Inst) -> Iterator[str]:
     if isinstance(inst, Const):
         if inst.dst.cls != "i":
             yield f"const destination {inst.dst} is not class 'i'"
@@ -287,7 +292,9 @@ def _check_slots(func: Function) -> list[Finding]:
     out: list[Finding] = []
     known = {slot.id for slot in func.slots}
 
-    def check(slot: StackSlot, loc: str, inst, offset=None, size=None):
+    def check(slot: StackSlot, loc: str, inst: Inst,
+              offset: int | None = None,
+              size: int | None = None) -> None:
         if slot.id not in known:
             out.append(finding(
                 "IR009", loc,

@@ -58,10 +58,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..asm.objfile import Executable
-from ..isa import IsaSpec
+from collections.abc import Sequence
+
+from ..isa import Instr, IsaSpec
 from ..machine.pipeline import HazardModel, PipelineModel, hazard_indices
 from ..machine.stats import RunStats
-from .cfg import BinaryCFG, build_cfg
+from .cfg import BasicBlock, BinaryCFG, build_cfg
 from .findings import Finding, finding
 
 #: Entry seed for a block's lower-bound run: guaranteed remaining
@@ -72,7 +74,8 @@ EntrySeed = tuple[dict[int, int], int]
 _ZERO_SEED: EntrySeed = ({}, 0)
 
 
-def block_stall_bounds(instrs, model: PipelineModel,
+def block_stall_bounds(instrs: Sequence[tuple[int, Instr] | Instr],
+                       model: PipelineModel,
                        entry_seed: EntrySeed | None = None
                        ) -> tuple[int, int]:
     """Provable [lo, hi] interlock stalls for one straight-line run.
@@ -105,7 +108,8 @@ def block_stall_bounds(instrs, model: PipelineModel,
     return lo, hi
 
 
-def _suffix_stall_upper(instrs, start: int, model: PipelineModel) -> int:
+def _suffix_stall_upper(instrs: Sequence[tuple[int, Instr] | Instr],
+                        start: int, model: PipelineModel) -> int:
     """Upper bound on the stalls ``instrs[start:]`` can insert, from
     the everything-busy state (sound for any real mid-block state)."""
     hm = HazardModel(model)
@@ -116,7 +120,7 @@ def _suffix_stall_upper(instrs, start: int, model: PipelineModel) -> int:
                for item in instrs[start:])
 
 
-def exit_seed(block, model: PipelineModel) -> EntrySeed:
+def exit_seed(block: BasicBlock, model: PipelineModel) -> EntrySeed:
     """Latencies ``block`` itself guarantees at its exit boundary.
 
     For the last writer of each hazard index, sitting ``gap`` slots
@@ -236,7 +240,8 @@ class StaticBounds:
         return "\n".join(lines)
 
 
-def static_bounds(exe_or_cfg, isa: IsaSpec | None = None, *,
+def static_bounds(exe_or_cfg: Executable | BinaryCFG,
+                  isa: IsaSpec | None = None, *,
                   model: PipelineModel | None = None,
                   symbols: dict[str, int] | None = None,
                   lookback: bool = True) -> StaticBounds:
@@ -249,13 +254,15 @@ def static_bounds(exe_or_cfg, isa: IsaSpec | None = None, *,
     if isinstance(exe_or_cfg, BinaryCFG):
         cfg = exe_or_cfg
     else:
+        if isa is None:
+            raise ValueError("isa is required with a raw executable")
         cfg = build_cfg(exe_or_cfg, isa, symbols=symbols)
     model = model or PipelineModel()
 
-    preds: dict[int, list] = {}
+    preds: dict[int, list[BasicBlock]] = {}
     entry_points = {cfg.exe.entry} | {addr for addr, _name in cfg.funcs}
     if lookback:
-        for start, block in cfg.blocks.items():
+        for _start, block in cfg.blocks.items():
             for succ in block.succs:
                 preds.setdefault(succ, []).append(block)
 

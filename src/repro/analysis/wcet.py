@@ -42,7 +42,9 @@ import heapq
 from dataclasses import dataclass, field, replace
 from typing import NamedTuple
 
-from ..isa import COND_NEGATE, COND_SWAP, Cond, Op, to_s32
+from ..asm.objfile import Executable
+from ..cc.target import TargetSpec
+from ..isa import COND_NEGATE, COND_SWAP, Cond, Instr, IsaSpec, Op, to_s32
 from ..isa.refs import ldc_pool_addr
 from ..machine.pipeline import PipelineModel
 from ..machine.stats import RunStats
@@ -51,7 +53,7 @@ from .absint import (REG_LINK, REG_RET, REG_SP, AnalysisResult, Interval,
                      analyze_executable, build_cfg, resolve_cfg, solve)
 from .cfg import BasicBlock, BinaryCFG
 from .findings import Finding, finding
-from .loops import Loop, LoopForest, find_loops
+from .loops import DomTree, Loop, LoopForest, find_loops
 from .timing import StaticBounds, static_bounds
 
 U32_MAX = (1 << 32) - 1
@@ -107,7 +109,7 @@ class CmpFact(NamedTuple):
     rhs: object
 
 
-def _sym_add(a, b, sub: bool):
+def _sym_add(a: object, b: object, sub: bool) -> object:
     # Adding/subtracting zero preserves any tracked value — DLXe
     # canonicalizes register moves as ``add rd, rs, r0``, so this
     # identity is what keeps Shrink chains alive across moves.
@@ -128,7 +130,7 @@ def _sym_add(a, b, sub: bool):
     return None
 
 
-def _sym_shrink(a, divisor: int):
+def _sym_shrink(a: object, divisor: int) -> Shrink | None:
     """Division/shift of a tracked value by a constant ``divisor >= 2``."""
     if divisor < 2:
         return None
@@ -180,7 +182,7 @@ class _IterDomain:
         state[_MEMTOK] = True
         return state
 
-    def lookup(self, state: dict, key):
+    def lookup(self, state: dict, key: object) -> object:
         """Value of a register or slot key, implicit defaults applied."""
         v = state.get(key)
         if v is _UNKNOWN:
@@ -209,14 +211,15 @@ class _IterDomain:
     def edge_state(self, block: BasicBlock, succ: int, out: dict) -> dict:
         return out
 
-    def _get(self, state: dict, reg):
+    def _get(self, state: dict, reg: int | None) -> object:
         if reg is None:
             return None
         if reg == 0 and self.zero_r0:
             return 0
         return state.get(reg)
 
-    def _set(self, state: dict, reg: int, value) -> None:
+    def _set(self, state: dict, reg: int,
+             value: object) -> None:
         if reg == 0 and self.zero_r0:
             return
         if value is None:
@@ -242,7 +245,7 @@ class _IterDomain:
             self._kill_memory(state)  # the callee may write our frame
         return state
 
-    def _const(self, value) -> int | None:
+    def _const(self, value: object) -> int | None:
         """Signed constant behind a tracked value, if provable: a
         literal, or an unmodified register whose header value the
         interval analysis pinned to a constant."""
@@ -253,7 +256,8 @@ class _IterDomain:
             return self.header_consts.get(value.reg)
         return None
 
-    def _slot_key(self, state: dict, instr):
+    def _slot_key(self, state: dict,
+                  instr: Instr) -> tuple[str, int] | None:
         """Slot key of a memory operand, when the base register holds
         an offset from the header-entry stack pointer."""
         base = self._get(state, instr.rs1)
@@ -261,7 +265,8 @@ class _IterDomain:
             return ("sp", to_s32((base.off + instr.imm) & U32_MAX))
         return None
 
-    def _step(self, pc: int, instr, state: dict) -> None:
+    def _step(self, pc: int, instr: Instr,
+              state: dict) -> None:
         op = instr.op
         if op == Op.LD:
             key = self._slot_key(state, instr)
@@ -391,7 +396,7 @@ class _LoopCtx:
         self.slot_inits = slot_inits
         self.header_state = header_state
 
-    def step_of(self, key) -> int | None:
+    def step_of(self, key: object) -> int | None:
         """Affine per-iteration step of a location, if every latch
         agrees; 0 means provably loop-invariant."""
         step = None
@@ -405,7 +410,7 @@ class _LoopCtx:
                 return None
         return step
 
-    def shrink_of(self, key) -> int | None:
+    def shrink_of(self, key: object) -> int | None:
         """Constant shrink divisor of a location, if every latch
         shrinks it (the smallest factor bounds all of them)."""
         factor = None
@@ -417,7 +422,7 @@ class _LoopCtx:
                 else min(factor, v.factor)
         return factor
 
-    def init_range(self, key) -> tuple[int, int] | None:
+    def init_range(self, key: object) -> tuple[int, int] | None:
         """Signed range of a location's value on loop entry."""
         if isinstance(key, tuple):
             iv = self.slot_inits.get(key)
@@ -427,7 +432,7 @@ class _LoopCtx:
             return _signed(iv)
         return None
 
-    def limit_range(self, value) -> tuple[int, int] | None:
+    def limit_range(self, value: object) -> tuple[int, int] | None:
         """Signed range of the comparison's limit operand, if provably
         loop-invariant (a constant, or an unchanging location whose
         value on loop entry is known)."""
@@ -449,7 +454,8 @@ class _LoopCtx:
         return None
 
 
-def _shrink_trips(ind, limit, econd: Cond, ctx: _LoopCtx) -> Trips | None:
+def _shrink_trips(ind: object, limit: object, econd: Cond,
+                  ctx: _LoopCtx) -> Trips | None:
     """Bound digit-style loops: the induction is divided (or shifted)
     by a constant factor >= 2 every iteration and the loop exits when
     it reaches/crosses zero.  Truncating division moves any 32-bit
@@ -480,7 +486,8 @@ def _shrink_trips(ind, limit, econd: Cond, ctx: _LoopCtx) -> Trips | None:
     return Trips(0, trips)
 
 
-def _counted_trips(ind, limit, econd: Cond, ctx: _LoopCtx) -> Trips | None:
+def _counted_trips(ind: object, limit: object, econd: Cond,
+                  ctx: _LoopCtx) -> Trips | None:
     """[min, max] completed iterations before the exit test fires.
 
     ``ind`` must be the induction side (``Sym`` with a nonzero affine
@@ -560,7 +567,7 @@ def _is_terminal(blk: BasicBlock, blocks: dict[int, BasicBlock]) -> bool:
 
 
 def infer_loop_bound(cfg: BinaryCFG, blocks: dict[int, BasicBlock],
-                     loop: Loop, dom, vd: ValueDomain,
+                     loop: Loop, dom: DomTree, vd: ValueDomain,
                      func_states: dict[int, dict]) -> LoopBound:
     """Prove header-execution bounds for one natural loop."""
     for addr in sorted(loop.body):
@@ -1056,12 +1063,14 @@ class ProgramWcet:
     def bounded_loops(self) -> int:
         return sum(f.bounded_loops for f in self.functions.values())
 
-    def function_records(self) -> list[dict]:
+    def function_records(self) -> list[dict[str, object]]:
         return [self.functions[start].to_record()
                 for start in sorted(self.functions)]
 
 
-def _promote_direct_calls(cfg: BinaryCFG, symbols, target,
+def _promote_direct_calls(cfg: BinaryCFG,
+                          symbols: dict[str, int] | None,
+                          target: TargetSpec | None,
                           result: AnalysisResult,
                           ) -> tuple[BinaryCFG, AnalysisResult]:
     """Make every direct (``jld``) call target a function root.
@@ -1122,10 +1131,11 @@ def _join_args(a: dict[int, Interval],
     return joined
 
 
-def analyze_wcet(exe_or_cfg, isa=None, *,
+def analyze_wcet(exe_or_cfg: Executable | BinaryCFG,
+                 isa: IsaSpec | None = None, *,
                  model: PipelineModel | None = None,
                  symbols: dict[str, int] | None = None,
-                 target=None,
+                 target: TargetSpec | None = None,
                  result: AnalysisResult | None = None) -> ProgramWcet:
     """Compose the whole-program static cycle interval of an image.
 
@@ -1139,6 +1149,8 @@ def analyze_wcet(exe_or_cfg, isa=None, *,
             result = analyze_executable(cfg.exe, cfg.isa, target=target,
                                         cfg=cfg)
     else:
+        if isa is None:
+            raise ValueError("isa is required with a raw executable")
         cfg, result = resolve_cfg(exe_or_cfg, isa, symbols=symbols,
                                   target=target)
     cfg, result = _promote_direct_calls(cfg, symbols, target, result)
@@ -1388,10 +1400,10 @@ def validate_wcet(program: ProgramWcet, stats: RunStats, *,
                           findings=findings)
 
 
-def check_wcet(exe, isa, stats: RunStats, *,
+def check_wcet(exe: Executable, isa: IsaSpec, stats: RunStats, *,
                model: PipelineModel | None = None,
                symbols: dict[str, int] | None = None,
-               target=None,
+               target: TargetSpec | None = None,
                slack: float | None = DEFAULT_SLACK) -> WcetValidation:
     """One-call harness: whole-program interval + run validation."""
     program = analyze_wcet(exe, isa, model=model, symbols=symbols,

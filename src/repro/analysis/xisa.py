@@ -24,7 +24,13 @@ reported — a code-generation or ISA-model bug, never optimization
 noise.
 
 :func:`check_cross_isa` is the one-call harness: compile one source
-for each target, analyze both images, and compare.
+for each target, analyze both images, and compare.  Since the
+translation-validation layer landed it also runs a *semantic* tier by
+default: every function whose machine-code observable-effect summary
+is symbolically proven against the shared IR on both targets
+(:func:`repro.analysis.equiv.check_binary_program`) is semantically
+consistent across the ISAs by transitivity — count-consistency
+upgraded to behavior, with proven divergence surfaced as EQ004.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from ..cc.irgen import lower_program
 from ..cc.opt import optimize_module
 from ..cc.parser import parse
 from ..cc.runtime import RUNTIME_SOURCE
-from .absint import AnalysisResult, analyze_executable
+from .absint import AnalysisResult, FunctionSummary, analyze_executable
 from .findings import Finding, finding
 
 
@@ -52,13 +58,21 @@ class CrossIsaReport:
     #: Functions whose facts were actually compared (had provable
     #: summaries on both sides) — coverage evidence for the docs.
     compared: list[str] = field(default_factory=list)
+    #: Per-function semantic verdicts from the translation-validation
+    #: tier: "proven" when the machine-code observable-effect summary
+    #: matched the shared IR on *every* target (the IR is the hub —
+    #: segment layouts differ between ISAs, so binaries are never
+    #: compared address-for-address), "unknown" when any side refused
+    #: (loops, non-comparable signature), "divergent" on a proven
+    #: mismatch (also surfaced as an EQ004 error finding).
+    semantic: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
 
-def _comparable_callees(summary) -> list[str] | None:
+def _comparable_callees(summary: FunctionSummary) -> list[str] | None:
     """Callee sequence, or None when not fully resolved."""
     if summary.unresolved_calls:
         return None
@@ -175,10 +189,47 @@ def analyze_source(source: str, target: TargetSpec | str, *,
 def check_cross_isa(source: str,
                     targets: tuple[str, str] = ("d16", "dlxe"), *,
                     opt_level: int = 2,
-                    include_runtime: bool = True) -> CrossIsaReport:
-    """Compile ``source`` for both targets, analyze, and cross-check."""
+                    include_runtime: bool = True,
+                    semantic: bool = True) -> CrossIsaReport:
+    """Compile ``source`` for both targets, analyze, and cross-check.
+
+    With ``semantic`` (the default) the count-based XISA comparison is
+    upgraded with the translation-validation tier: each binary's
+    observable-effect summaries are symbolically matched against the
+    shared IR, and a function whose summaries are proven on every
+    target is semantically consistent across the ISAs by transitivity.
+    Only *proven* divergence adds findings (EQ004); incompleteness is
+    recorded in :attr:`CrossIsaReport.semantic`, never reported as an
+    error — the same erring-on-silence contract as the XISA rules.
+    """
     results = {
         name: analyze_source(source, name, opt_level=opt_level,
                              include_runtime=include_runtime)
         for name in targets}
-    return compare_analyses(results)
+    report = compare_analyses(results)
+    if not semantic:
+        return report
+    from .equiv import (BinaryCheck, DIVERGENT, PROVEN,
+                        check_binary_program)
+
+    checks = check_binary_program(source, targets, opt_level=opt_level,
+                                  include_runtime=include_runtime)
+    by_fn: dict[str, list[BinaryCheck]] = {}
+    for check in checks:
+        by_fn.setdefault(check.function, []).append(check)
+    for fname, cell in sorted(by_fn.items()):
+        if any(c.verdict == DIVERGENT for c in cell):
+            report.semantic[fname] = DIVERGENT
+            for check in cell:
+                if check.verdict == DIVERGENT:
+                    report.findings.append(finding(
+                        "EQ004", f"xisa:{check.location}", check.reason
+                        or "observable behavior diverges from the IR"))
+        elif all(c.verdict == PROVEN for c in cell) \
+                and len(cell) == len(targets):
+            report.semantic[fname] = PROVEN
+            if fname not in report.compared:
+                report.compared.append(fname)
+        else:
+            report.semantic[fname] = "unknown"
+    return report

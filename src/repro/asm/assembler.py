@@ -151,8 +151,9 @@ class Assembler:
             name, _, value = args.partition(",")
             try:
                 equs[name.strip()] = int(value.strip(), 0)
-            except ValueError:
-                raise AsmError(f"bad .equ value {value!r}", stmt.line_no)
+            except ValueError as exc:
+                raise AsmError(f"bad .equ value {value!r}",
+                               stmt.line_no) from exc
             return section, 0
         if m == ".align":
             boundary = int(args, 0)
@@ -206,7 +207,8 @@ class Assembler:
                 value = int(token, 0)
             except ValueError:
                 if width != 4:
-                    raise AsmError("symbol data must be .word", stmt.line_no)
+                    raise AsmError("symbol data must be .word",
+                                   stmt.line_no) from None
                 sym, addend = _sym_and_addend(token, stmt.line_no)
                 obj.relocations.append(Relocation(
                     item.section, offset, Reloc.WORD32, sym, addend))
@@ -268,7 +270,8 @@ class Assembler:
         try:
             instr.validate()
         except Exception as exc:
-            raise AsmError(f"{stmt.mnemonic}: {exc}", stmt.line_no)
+            raise AsmError(f"{stmt.mnemonic}: {exc}",
+                           stmt.line_no) from exc
         return instr, reloc
 
     def _emit_instr(self, item: _Item, obj: ObjectFile) -> None:
@@ -277,7 +280,7 @@ class Assembler:
         try:
             word = self.isa.encode(instr)
         except EncodingError as exc:
-            raise AsmError(str(exc), stmt.line_no)
+            raise AsmError(str(exc), stmt.line_no) from exc
         section = obj.section(item.section)
         section.data.extend(word.to_bytes(self.isa.width_bytes, "little"))
         if reloc is not None:

@@ -93,7 +93,7 @@ def get_benchmark(name: str) -> Benchmark:
         return BY_NAME[name]
     except KeyError:
         raise KeyError(f"unknown benchmark {name!r}; "
-                       f"expected one of {sorted(BY_NAME)}")
+                       f"expected one of {sorted(BY_NAME)}") from None
 
 
 def check_output(bench: Benchmark, output: str) -> bool:

@@ -85,10 +85,11 @@ def time_analysis(*, program: str = "assem", target: str = "d16",
                   sizes=None) -> dict:
     """Time the static-analysis stack over one benchmark cell.
 
-    Covers the three ``repro lint`` workloads -- the three-layer lint,
-    the whole-program WCET composition, and the I-cache
-    classification-plus-replay sweep -- as wall-clock trajectory
-    entries, plus one machine-independent ratio:
+    Covers the four ``repro lint`` workloads -- the three-layer lint,
+    the whole-program WCET composition, the I-cache
+    classification-plus-replay sweep, and the translation-validation
+    sweep (per-pass symbolic equivalence plus the binary tier) -- as
+    wall-clock trajectory entries, plus one machine-independent ratio:
     ``icache_replay_speedup`` compares the scalar and the vectorized
     trace replay of :func:`repro.analysis.validate_icache` on the same
     trace in the same process, guarding the first-demand compression
@@ -96,7 +97,8 @@ def time_analysis(*, program: str = "assem", target: str = "d16",
     """
     import os
 
-    from ..analysis import analyze_icache, analyze_wcet, lint_program
+    from ..analysis import (analyze_icache, analyze_wcet, lint_program,
+                            tv_program)
     from ..analysis import validate_icache as validate
     from ..cache.cache import CacheConfig
     from ..cache.vector import ENGINE_ENV
@@ -129,6 +131,8 @@ def time_analysis(*, program: str = "assem", target: str = "d16",
             validate(analysis, trace.itrace, trace.run.stats, penalty=8)
 
     clock("analysis_icache", icache_sweep)
+    tv = clock("analysis_tv", lambda: tv_program(
+        bench.source, program, targets=(target,)))
 
     # The ratio replays one configuration both ways on this trace.
     analysis = analyze_icache(wcet, CacheConfig(sizes[-1]))
@@ -144,16 +148,23 @@ def time_analysis(*, program: str = "assem", target: str = "d16",
             del os.environ[ENGINE_ENV]
         else:
             os.environ[ENGINE_ENV] = saved
+    tv_counts = tv.pass_counts()
     return {
         "analysis": {name: seconds[name]
                      for name in ("analysis_lint", "analysis_wcet",
-                                  "analysis_icache")},
+                                  "analysis_icache", "analysis_tv")},
         "analysis_total": (seconds["analysis_lint"]
                            + seconds["analysis_wcet"]
-                           + seconds["analysis_icache"]),
+                           + seconds["analysis_icache"]
+                           + seconds["analysis_tv"]),
         "icache_configs": len(sizes),
         "icache_replay_speedup": (seconds["icache_replay_scalar"]
                                   / seconds["icache_replay_vector"]),
+        # Machine-independent TV coverage on this cell: every
+        # optimizer-pass application must stay proven (the perf budget
+        # treats a nonzero unproven count as a violation outright).
+        "tv_checks": sum(tv_counts.values()),
+        "tv_unproven": tv_counts["unknown"] + tv_counts["divergent"],
     }
 
 

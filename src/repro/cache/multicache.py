@@ -103,7 +103,7 @@ class MultiCache:
                 if sub_addr == entry[1]:
                     continue
                 entry[1] = sub_addr
-                for block_shift, nsubs_mask, nsubs, words, members \
+                for block_shift, nsubs_mask, _nsubs, words, members \
                         in entry[2]:
                     block_index = addr >> block_shift
                     sub = sub_addr & nsubs_mask
@@ -141,7 +141,7 @@ class MultiCache:
                 if sub_addr == entry[1]:
                     continue
                 entry[1] = sub_addr
-                for block_shift, nsubs_mask, nsubs, words, members \
+                for block_shift, nsubs_mask, _nsubs, words, members \
                         in entry[2]:
                     block_index = addr >> block_shift
                     sub = sub_addr & nsubs_mask

@@ -480,7 +480,7 @@ class FunctionEmitter:
         except KeyError:
             raise CodegenError(
                 f"{self.func.name}: no register for {vreg} "
-                f"(hint {vreg.hint!r})")
+                f"(hint {vreg.hint!r})") from None
 
     # ---------------------------------------------------------- emission
 

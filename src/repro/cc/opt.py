@@ -15,6 +15,9 @@ naive code) dominate the measurements:
 
 from __future__ import annotations
 
+import copy
+from typing import Callable
+
 from ..isa.operations import Cond
 from .ir import (AddrGlobal, AddrStack, Bin, Block, CJump, CallInst, Cmp,
                  Const, Cvt, FCmp, FConst, FLoad, FStore, Function, Jump,
@@ -695,34 +698,51 @@ def _verify_after(func: Function, pass_name: str) -> None:
         raise PassVerificationError(func.name, pass_name, errors)
 
 
+#: Per-pass observation hook: called as ``observer(function_name,
+#: pass_name, round_index, before, after, changed)`` where ``before``
+#: is a deep copy of the function taken immediately before the pass
+#: ran and ``after`` is the live (possibly mutated) function.
+PassObserver = Callable[[str, str, int, Function, Function, bool], None]
+
+
 def optimize(func: Function, *, level: int = 2,
-             verify: bool = False) -> None:
+             verify: bool = False,
+             observer: PassObserver | None = None) -> None:
     """Run the optimization pipeline to a fixed point (bounded).
 
     With ``verify=True`` the IR verifier runs on the input and after
     every pass; the first broken invariant raises
     :class:`PassVerificationError` naming the offending pass.
+
+    With an ``observer``, every pass application is reported together
+    with a pre-pass snapshot of the function — the hook the
+    translation-validation driver (:mod:`repro.analysis.equiv`) uses to
+    check a simulation relation across each transformation.
     """
     if verify:
         _verify_after(func, "initial IR")
     if level <= 0:
         return
-    for _round in range(4 if level >= 2 else 1):
+    pipeline = _PIPELINE_O1 + (_PIPELINE_O2 if level >= 2 else ())
+    for round_index in range(4 if level >= 2 else 1):
         changed = False
-        for name, pass_fn in _PIPELINE_O1:
-            changed |= pass_fn(func)
+        for name, pass_fn in pipeline:
+            snapshot = copy.deepcopy(func) if observer is not None \
+                else None
+            pass_changed = pass_fn(func)
+            changed |= pass_changed
             if verify:
                 _verify_after(func, name)
-        if level >= 2:
-            for name, pass_fn in _PIPELINE_O2:
-                changed |= pass_fn(func)
-                if verify:
-                    _verify_after(func, name)
+            if observer is not None:
+                assert snapshot is not None
+                observer(func.name, name, round_index, snapshot, func,
+                         pass_changed)
         if not changed:
             break
 
 
 def optimize_module(module, *, level: int = 2,
-                    verify: bool = False) -> None:
+                    verify: bool = False,
+                    observer: PassObserver | None = None) -> None:
     for func in module.functions:
-        optimize(func, level=level, verify=verify)
+        optimize(func, level=level, verify=verify, observer=observer)

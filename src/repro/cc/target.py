@@ -170,4 +170,5 @@ def get_target(name: str) -> TargetSpec:
         return TARGETS[name.lower()]
     except KeyError:
         raise KeyError(
-            f"unknown target {name!r}; expected one of {sorted(TARGETS)}")
+            f"unknown target {name!r}; "
+            f"expected one of {sorted(TARGETS)}") from None

@@ -127,10 +127,16 @@ def _lint(args) -> int:
     if file and file != "-" and not os.path.exists(file):
         names.insert(0, file)
         file = None
+    if args.all:
+        # One pass over every analysis mode; the combined report keeps
+        # the shared exit-code contract (any error finding -> 1).
+        args.timing = args.wcet = args.icache = True
+        args.density = args.tv = True
     timing_validations = None
     wcet_validations = None
     densities = None
     icache_results = None
+    tv_results = None
     icache_sizes = None
     if args.icache_sizes:
         icache_sizes = tuple(int(s) for s in
@@ -141,13 +147,19 @@ def _lint(args) -> int:
         # --wcet-slack 0 disables TIM005; unset means the default factor.
         args.wcet_slack = DEFAULT_SLACK if args.wcet_slack is None \
             else (args.wcet_slack or None)
+    mode_reports: dict[str, list[LintReport]] = {}
+
+    def track(mode, new_reports):
+        mode_reports.setdefault(mode, []).extend(new_reports)
+        return new_reports
+
     if file:
         source = _read_source(file)
         reports = []
         findings = lint_program(source, args.target, opt_level=args.opt,
                                 include_runtime=not args.no_runtime)
-        reports.append(LintReport(program=file, target=args.target,
-                                  findings=findings))
+        reports.extend(track("lint", [LintReport(
+            program=file, target=args.target, findings=findings)]))
         if args.timing:
             from .analysis import timing_program
 
@@ -155,8 +167,9 @@ def _lint(args) -> int:
                 source, args.target, opt_level=args.opt,
                 include_runtime=not args.no_runtime)
             timing_validations = {(file, args.target): validation}
-            reports.append(LintReport(program=file, target=args.target,
-                                      findings=validation.findings))
+            reports.extend(track("timing", [LintReport(
+                program=file, target=args.target,
+                findings=validation.findings)]))
         if args.wcet:
             from .analysis import wcet_program
 
@@ -165,8 +178,9 @@ def _lint(args) -> int:
                 include_runtime=not args.no_runtime,
                 slack=args.wcet_slack)
             wcet_validations = {(file, args.target): validation}
-            reports.append(LintReport(program=file, target=args.target,
-                                      findings=validation.findings))
+            reports.extend(track("wcet", [LintReport(
+                program=file, target=args.target,
+                findings=validation.findings)]))
         if args.density:
             from .analysis import analyze_density, resolve_cfg
             from .cc import get_target
@@ -178,8 +192,9 @@ def _lint(args) -> int:
                                        get_target(args.target).isa)
             density = analyze_density(cfg)
             densities = {(file, args.target): density}
-            reports.append(LintReport(program=file, target=args.target,
-                                      findings=density.findings))
+            reports.extend(track("density", [LintReport(
+                program=file, target=args.target,
+                findings=density.findings)]))
         if args.icache:
             from .analysis import icache_program
 
@@ -196,51 +211,68 @@ def _lint(args) -> int:
                     if key not in seen:
                         seen.add(key)
                         cell_findings.append(f)
-            reports.append(LintReport(program=file, target=args.target,
-                                      findings=cell_findings))
+            reports.extend(track("icache", [LintReport(
+                program=file, target=args.target,
+                findings=cell_findings)]))
         if args.cross_isa:
             from .analysis import check_cross_isa
 
             xisa = check_cross_isa(source, opt_level=args.opt,
                                    include_runtime=not args.no_runtime)
-            reports.append(LintReport(program=file,
-                                      target="+".join(xisa.targets),
-                                      findings=xisa.findings))
+            reports.extend(track("cross-isa", [LintReport(
+                program=file, target="+".join(xisa.targets),
+                findings=xisa.findings)]))
+        if args.tv:
+            from .analysis import tv_program
+
+            tv = tv_program(source, file, targets=(args.target,),
+                            opt_level=args.opt,
+                            include_runtime=not args.no_runtime)
+            tv_results = {file: tv}
+            reports.extend(track("tv", [LintReport(
+                program=file, target=args.target,
+                findings=tv.findings)]))
     else:
         from .analysis import (cross_isa_suite, density_suite,
                                icache_suite, lint_suite, timing_suite,
-                               wcet_suite)
+                               tv_suite, wcet_suite)
 
         targets = args.targets.split(",")
-        reports = lint_suite(targets, names or None, opt_level=args.opt)
+        reports = track("lint", lint_suite(targets, names or None,
+                                           opt_level=args.opt))[:]
         if args.timing:
             timing_reports, timing_validations = timing_suite(
                 targets, names or None)
-            reports.extend(timing_reports)
+            reports.extend(track("timing", timing_reports))
         if args.wcet:
             wcet_reports, wcet_validations = wcet_suite(
                 targets, names or None, slack=args.wcet_slack)
-            reports.extend(wcet_reports)
+            reports.extend(track("wcet", wcet_reports))
         if args.icache:
             icache_reports, icache_results = icache_suite(
                 targets, names or None, sizes=icache_sizes,
                 penalty=args.icache_penalty)
-            reports.extend(icache_reports)
+            reports.extend(track("icache", icache_reports))
         if args.density:
             density_target = "dlxe" if "dlxe" in targets else targets[0]
             density_reports, suite_densities = density_suite(
                 names or None, target=density_target)
             densities = {(prog, density_target): d
                          for prog, d in suite_densities.items()}
-            reports.extend(density_reports)
+            reports.extend(track("density", density_reports))
         if args.cross_isa:
             if len(targets) != 2:
                 raise ValueError(
                     f"--cross-isa compares exactly two targets, "
                     f"got {targets}")
-            reports.extend(cross_isa_suite(
+            reports.extend(track("cross-isa", cross_isa_suite(
                 names or None, targets=(targets[0], targets[1]),
-                opt_level=args.opt))
+                opt_level=args.opt)))
+        if args.tv:
+            tv_reports, tv_results = tv_suite(
+                names or None, targets=tuple(targets),
+                opt_level=args.opt)
+            reports.extend(track("tv", tv_reports))
 
     all_findings = [f for r in reports for f in r.findings]
     if args.json:
@@ -268,6 +300,27 @@ def _lint(args) -> int:
                  "ratio": round(d.ratio, 4),
                  "functions": d.function_records()}
                 for (prog, tname), d in sorted(densities.items())]
+        if tv_results:
+            extra["tv"] = [
+                {"program": prog,
+                 "passes": tv.pass_counts(),
+                 "binary": tv.binary_counts(),
+                 "unproven": [
+                     {"kind": "pass", "location": c.location,
+                      "verdict": c.verdict, "reason": c.reason}
+                     for c in tv.passes if c.verdict != "proven"
+                 ] + [
+                     {"kind": "binary", "location": c.location,
+                      "verdict": c.verdict, "reason": c.reason}
+                     for c in tv.binary if c.verdict != "proven"]}
+                for prog, tv in sorted(tv_results.items())]
+        if args.all:
+            extra["modes"] = {
+                mode: {"cells": len(cell_reports),
+                       "summary": summarize(
+                           [f for r in cell_reports
+                            for f in r.findings])}
+                for mode, cell_reports in sorted(mode_reports.items())}
         print(render_json(
             all_findings,
             programs=sorted({r.program for r in reports}),
@@ -322,6 +375,14 @@ def _lint(args) -> int:
             for (prog, tname), d in sorted(densities.items()):
                 print(f"density: {prog}/{tname}  {d.dlxe_bytes}  "
                       f"{d.est_d16_bytes}  {d.ratio:.3f}  {d.fused_pairs}")
+        if args.stats and tv_results:
+            print("tv: program  passes proven/unknown/divergent  "
+                  "binary proven/unknown/divergent")
+            for prog, tv in sorted(tv_results.items()):
+                pc, bc = tv.pass_counts(), tv.binary_counts()
+                print(f"tv: {prog}  {pc['proven']}/{pc['unknown']}/"
+                      f"{pc['divergent']}  {bc['proven']}/"
+                      f"{bc['unknown']}/{bc['divergent']}")
     return exit_code(reports)
 
 
@@ -493,6 +554,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-isa", action="store_true",
                    help="compare per-function facts between the two "
                         "targets (XISA rules)")
+    p.add_argument("--tv", action="store_true",
+                   help="translation validation: prove every optimizer "
+                        "pass application equivalent and match binary "
+                        "effect summaries against the IR (EQ rules)")
+    p.add_argument("--all", action="store_true",
+                   help="run every analysis mode (lint, timing, wcet, "
+                        "icache, density, tv) in one pass with a "
+                        "combined report")
     p.add_argument("--no-runtime", action="store_true")
     p.add_argument("-O", "--opt", type=int, default=2)
     _add_target(p)

@@ -331,6 +331,39 @@ class Lab:
             "penalty": penalty,
         }
 
+    def validate_equiv(self, programs=None,
+                       targets: tuple[str, ...] = MAIN_TARGETS, *,
+                       opt_level: int = 2) -> dict:
+        """Translation-validation sweep over the benchmark suite.
+
+        Proves every optimizer pass application equivalent (or records
+        an explicit unknown) and matches each binary's observable-effect
+        summaries against its IR on every target; raises
+        :class:`ExperimentError` on any *proven* divergence (EQ002 or
+        EQ004 — the checker never errors on mere incompleteness).
+        Returns the aggregate verdict counts for reports and CI locks.
+        """
+        from ..analysis import render_text, tv_suite
+        from ..analysis.findings import Severity
+
+        reports, results = tv_suite(programs, targets=targets,
+                                    opt_level=opt_level)
+        errors = [f for r in reports for f in r.findings
+                  if f.severity == Severity.ERROR]
+        if errors:
+            raise ExperimentError(
+                f"translation validation found proven divergences:\n"
+                f"{render_text(errors)}")
+        passes = {"proven": 0, "unknown": 0, "divergent": 0}
+        binary = {"proven": 0, "unknown": 0, "divergent": 0}
+        for tv in results.values():
+            for verdict, n in tv.pass_counts().items():
+                passes[verdict] += n
+            for verdict, n in tv.binary_counts().items():
+                binary[verdict] += n
+        return {"cells": len(results), "passes": passes,
+                "binary": binary}
+
     def check_consistency(self, bench_name: str,
                           targets: tuple[str, str] = MAIN_TARGETS):
         """Cross-ISA consistency check for one benchmark's source.

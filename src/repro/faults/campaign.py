@@ -146,7 +146,7 @@ class FaultCampaign:
         """Execute the campaign; returns the versioned report dict."""
         cells = [(bench, target) for bench in self.benchmarks
                  for target in self.targets]
-        for bench, target in cells:
+        for bench, _target in cells:
             get_benchmark(bench)      # validate before any forking
         lab = Lab(cache=self.cache)   # resolve cache root once
         jobs = max(1, int(jobs))

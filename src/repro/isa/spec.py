@@ -77,4 +77,5 @@ def get_isa(name: str) -> IsaSpec:
     try:
         return ISAS[name.lower()]
     except KeyError:
-        raise KeyError(f"unknown ISA {name!r}; expected one of {sorted(ISAS)}")
+        raise KeyError(f"unknown ISA {name!r}; "
+                       f"expected one of {sorted(ISAS)}") from None

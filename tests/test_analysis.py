@@ -437,7 +437,7 @@ class TestJsonSchema:
         # v2 added the loop/WCET rules and the --wcet/--density JSON
         # extras; v3 added the CACHE rules and the --icache extras
         # (docs/linting.md documents both migrations).
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
         assert payload["schema_version"] == SCHEMA_VERSION
         assert set(payload) >= {"schema_version", "findings", "summary",
                                 "rules"}
@@ -468,7 +468,7 @@ class TestJsonSchema:
 
         assert main(["lint", "ackermann", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
 
 
 class TestExitCodes:

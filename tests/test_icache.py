@@ -504,12 +504,12 @@ class TestDriverAndRules:
         for rule in ("CACHE001", "CACHE002", "CACHE003", "CACHE004",
                      "CACHE005"):
             assert rule in RULES
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
 
     def test_icache_program_grid(self, isa_target):
         cells = icache_program(HELLO, isa_target, sizes=(1024, 8192))
         assert len(cells) == 2
-        for analysis, validation in cells:
+        for _analysis, validation in cells:
             assert validation.ok
             assert validation.contradictions == 0
             if validation.miss_ub is not None:
@@ -543,7 +543,7 @@ class TestCli:
                      "--icache-sizes", "1024,4096", "--json"])
         assert code == 0                 # CACHE003 is only a warning
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         records = payload["icache"]
         assert [r["size"] for r in records] == [1024, 4096]
         for record in records:
