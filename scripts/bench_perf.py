@@ -12,6 +12,10 @@ Phases timed (see :mod:`repro.bench.timing`):
                                         -- the whole benchmark suite under
                                            the per-instruction and the
                                            block-compiled engine;
+* ``service_replay_*``                  -- a 1000-request mixed stream
+                                           through the batch simulation
+                                           service (p50/p99 latency,
+                                           throughput, zero-loss counter);
 * ``analysis_lint`` / ``analysis_wcet`` / ``analysis_icache`` /
   ``analysis_tv``                       -- the static-analysis stack over
                                            the same cell (three-layer lint,
@@ -46,6 +50,12 @@ def main(argv=None) -> int:
                         help="skip the two-engine benchmark-suite timing")
     parser.add_argument("--no-analysis", action="store_true",
                         help="skip the static-analysis-stack timing")
+    parser.add_argument("--no-service", action="store_true",
+                        help="skip the service request-replay benchmark")
+    parser.add_argument("--service-requests", type=int, default=1000,
+                        help="replay stream length (default %(default)s)")
+    parser.add_argument("--service-jobs", type=int, default=2,
+                        help="service worker processes (default %(default)s)")
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
@@ -54,6 +64,13 @@ def main(argv=None) -> int:
                              sim_engines=not args.no_sim,
                              analysis=not args.no_analysis,
                              cache_root=root)
+    if not args.no_service:
+        from repro.service import replay_benchmark
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as root:
+            report.update(replay_benchmark(root,
+                                           count=args.service_requests,
+                                           jobs=args.service_jobs))
     write_bench_json(report, args.output)
 
     for name, seconds in report["phases"].items():
@@ -69,6 +86,14 @@ def main(argv=None) -> int:
                            "icache_replay_speedup")):
         if metric in report:
             print(f"{label:24s} {report[metric]:8.2f}x")
+    if "service_replay_p50_ms" in report:
+        print(f"{'service replay':24s} "
+              f"{report['service_replay_requests']} requests in "
+              f"{report['service_replay_wall_s']:.1f}s "
+              f"({report['service_replay_rps']:.0f} rps, "
+              f"p50 {report['service_replay_p50_ms']:.2f}ms, "
+              f"p99 {report['service_replay_p99_ms']:.2f}ms, "
+              f"{report['service_lost_requests']} lost)")
     if report.get("sim_divergent"):
         print(f"ENGINES DIVERGED: {report['sim_divergent']}")
         return 1

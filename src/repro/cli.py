@@ -462,6 +462,56 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import SimulationService
+
+    service = SimulationService(args.root, jobs=args.jobs,
+                                task_timeout=args.task_timeout)
+    recovered = service.start()
+    if recovered:
+        print(f"serve: recovered {recovered} in-flight batch(es) "
+              f"from the journal", file=sys.stderr)
+    print(f"serve: listening on {args.host}:{args.port} "
+          f"({args.jobs} workers, store at {args.root})",
+          file=sys.stderr)
+    try:
+        asyncio.run(service.serve(args.host, args.port))
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    import json as json_mod
+    import tempfile
+
+    from .service import chaos_campaign
+
+    root = args.root or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = chaos_campaign(root, seed=args.seed, count=args.requests,
+                            failures=args.failures, jobs=args.jobs,
+                            task_timeout=args.task_timeout)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_mod.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    print(f"chaos: {report['requests']} requests, "
+          f"{report['injections_fired']}/{report['injections_planned']}"
+          f" injections fired {report['injections_by_action']}, "
+          f"{report['worker_restarts']} worker restarts, "
+          f"{report['retries']} retries", file=sys.stderr)
+    print(f"chaos: lost={report['lost_requests']} "
+          f"identical={report['identical']} "
+          f"p50={report['chaos_p50_ms']}ms "
+          f"p99={report['chaos_p99_ms']}ms", file=sys.stderr)
+    ok = (report["lost_requests"] == 0 and report["identical"])
+    return 0 if ok else 1
+
+
 def cmd_targets(_args) -> int:
     for name in sorted(TARGETS):
         spec = TARGETS[name]
@@ -595,6 +645,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output",
                    help="write the JSON report here instead of stdout")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "serve", help="fault-tolerant simulation service (JSON lines)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--root", default=".repro-service",
+                   help="service root (journal + result store, "
+                        "default %(default)s)")
+    p.add_argument("-j", "--jobs", type=int, default=2,
+                   help="worker processes (default %(default)s)")
+    p.add_argument("--task-timeout", type=float, default=60.0,
+                   help="per-task hang deadline in seconds "
+                        "(default %(default)s)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos", help="chaos harness: clean vs fault-injected replay")
+    p.add_argument("--requests", type=int, default=1000,
+                   help="replayed request count (default %(default)s)")
+    p.add_argument("--failures", type=int, default=24,
+                   help="seeded injections: worker kills/hangs/slows "
+                        "and cache corruption (default %(default)s)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("-j", "--jobs", type=int, default=2,
+                   help="worker processes per service "
+                        "(default %(default)s)")
+    p.add_argument("--task-timeout", type=float, default=5.0,
+                   help="per-task hang deadline in seconds "
+                        "(default %(default)s)")
+    p.add_argument("--root", default=None,
+                   help="campaign root (default: a temp directory)")
+    p.add_argument("--json", default=None,
+                   help="write the full JSON report here")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("targets", help="list compiler configurations")
     p.set_defaults(fn=cmd_targets)

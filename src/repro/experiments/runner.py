@@ -84,14 +84,29 @@ class RunError:
     kind: str
     message: str
     attempts: int = 1
+    backoff_total_s: float = 0.0
+    breaker_open: bool = False
 
     @property
     def ok(self) -> bool:
         return False
 
+    def to_dict(self) -> dict:
+        """JSON-ready record for partial-grid reports."""
+        return {"bench": self.bench, "target": self.target,
+                "ok": False, "kind": self.kind,
+                "message": self.message, "attempts": self.attempts,
+                "backoff_total_s": round(self.backoff_total_s, 6),
+                "breaker_open": self.breaker_open}
+
     def __str__(self) -> str:
+        extra = ""
+        if self.backoff_total_s:
+            extra = f" (+{self.backoff_total_s:.2f}s backoff)"
+        if self.breaker_open:
+            extra += " [breaker open]"
         return (f"{self.bench}/{self.target}: {self.kind} after "
-                f"{self.attempts} attempt(s): {self.message}")
+                f"{self.attempts} attempt(s){extra}: {self.message}")
 
 
 class ExperimentError(Exception):
@@ -518,7 +533,9 @@ class Lab:
                             message=f"no result within "
                                     f"{self.cell_timeout}s (worker "
                                     f"abandoned)",
-                            attempts=attempts[cell])
+                            attempts=attempts[cell],
+                            backoff_total_s=self.retry_backoff
+                            * (attempts[cell] - 1))
                         # The worker may be stuck for good; abandon the
                         # pool rather than wait for it on shutdown.
                         abandoned = True
@@ -532,12 +549,16 @@ class Lab:
                                 message=f"worker process died "
                                         f"({type(exc).__name__}), "
                                         f"retries exhausted",
-                                attempts=attempts[cell])
+                                attempts=attempts[cell],
+                                backoff_total_s=self.retry_backoff
+                                * (attempts[cell] - 1))
                     except Exception as exc:  # deterministic failure
                         errors[cell] = RunError(
                             bench=name, target=target, kind="error",
                             message=f"{type(exc).__name__}: {exc}",
-                            attempts=attempts[cell])
+                            attempts=attempts[cell],
+                            backoff_total_s=self.retry_backoff
+                            * (attempts[cell] - 1))
                     else:
                         _name, _target, stats, binary_size, text_size \
                             = result
@@ -569,6 +590,35 @@ def _grid_cell_worker(job):
     run = lab.run(bench_name, target_name)
     return (bench_name, target_name, run.stats, run.binary_size,
             run.text_size)
+
+
+def grid_records(grid: dict[str, dict[str, ProgramRun | RunError]],
+                 ) -> list[dict]:
+    """Flatten a (possibly partial) grid into JSON-ready records.
+
+    Successful cells carry their headline statistics; failed cells
+    carry the full :class:`RunError` diagnostics (kind, message,
+    attempts, accumulated backoff, breaker state), so a degraded sweep
+    is diagnosable from the JSON report alone.
+    """
+    records: list[dict] = []
+    for bench_name in sorted(grid):
+        row = grid[bench_name]
+        for target_name in row:
+            cell = row[target_name]
+            if isinstance(cell, RunError):
+                records.append(cell.to_dict())
+                continue
+            stats = cell.stats
+            records.append({
+                "bench": bench_name, "target": target_name, "ok": True,
+                "instructions": stats.instructions,
+                "interlocks": stats.interlocks,
+                "ifetch_words": stats.ifetch_words,
+                "exit_code": stats.exit_code,
+                "binary_size": cell.binary_size,
+                "text_size": cell.text_size})
+    return records
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -33,6 +33,18 @@ load, so a flipped bit anywhere in the body is caught *before*
 unpickling; corrupt, truncated, or unreadable entries are logged,
 evicted, and treated as misses -- a damaged cache heals itself by
 rebuilding instead of poisoning an experiment sweep.
+
+Concurrent readers and evictors are safe against each other too:
+
+* eviction is **tombstone-then-unlink** -- the damaged entry is
+  atomically renamed aside before deletion, and if the rename is found
+  to have captured a *freshly rebuilt* entry (a writer won the race
+  between our corrupt read and the rename) the good entry is restored
+  instead of destroyed;
+* readers **retry once on miss** -- a ``FileNotFoundError`` may mean a
+  sibling process evicted the entry a moment before our open, in which
+  case the rebuild (or the tombstone restore) typically lands within
+  the retry.
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ import tempfile
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Iterator
 
 log = logging.getLogger("repro.labcache")
 
@@ -67,14 +80,14 @@ def toolchain_fingerprint() -> str:
     """Version string folded into every key (versioned invalidation)."""
     from .cc.driver import toolchain_fingerprint as cc_fingerprint
 
-    return cc_fingerprint()
+    return str(cc_fingerprint())
 
 
 def source_fingerprint(source: str) -> str:
     return hashlib.sha256(source.encode()).hexdigest()
 
 
-def target_fingerprint(target) -> dict:
+def target_fingerprint(target: Any) -> dict[str, Any]:
     """Every :class:`TargetSpec` knob that can change generated code."""
     return {
         "name": target.name,
@@ -86,7 +99,7 @@ def target_fingerprint(target) -> dict:
     }
 
 
-def params_fingerprint(params) -> dict:
+def params_fingerprint(params: Any) -> dict[str, Any]:
     """Every :class:`PipelineParams` knob that can change run statistics."""
     return {
         "load_delay": params.load_delay,
@@ -117,8 +130,8 @@ class CacheStats:
 class ArtifactCache:
     """Content-addressed pickle store shared by every lab process."""
 
-    def __init__(self, root: str | os.PathLike | None = None, *,
-                 enabled: bool = True):
+    def __init__(self, root: str | os.PathLike[str] | None = None, *,
+                 enabled: bool = True) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.enabled = enabled
         self.hits = 0
@@ -126,7 +139,7 @@ class ArtifactCache:
 
     # ------------------------------------------------------------- keys
 
-    def make_key(self, kind: str, material: dict) -> str:
+    def make_key(self, kind: str, material: dict[str, Any]) -> str:
         """Derive the content address for one artifact.
 
         ``material`` must contain every input that can change the
@@ -144,48 +157,105 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / SCHEMA_VERSION / key[:2] / f"{key}.bin"
 
+    def entry_path(self, key: str) -> Path:
+        """On-disk location of ``key``'s entry (for tooling/tests)."""
+        return self._path(key)
+
     # ------------------------------------------------------------ get/put
 
-    def get(self, key: str):
+    def get(self, key: str) -> Any:
         """Load an artifact, or None on miss (never raises).
 
         The stored digest is verified before the body is unpickled, so
         on-disk corruption is caught deterministically; any damaged
         entry is evicted (see :meth:`_evict`) and reported as a miss,
         letting the caller rebuild it.
+
+        A :class:`FileNotFoundError` is retried once: a concurrent
+        evictor may have tombstoned the entry between our path lookup
+        and open, and the rebuild (or the evictor's good-entry restore)
+        frequently lands immediately after.
         """
         if not self.enabled:
             return None
         path = self._path(key)
-        try:
-            blob = path.read_bytes()
-            if len(blob) < DIGEST_BYTES:
-                raise ValueError(f"entry shorter than its {DIGEST_BYTES}"
-                                 f"-byte digest header ({len(blob)} bytes)")
-            digest, body = blob[:DIGEST_BYTES], blob[DIGEST_BYTES:]
-            if hashlib.sha256(body).digest() != digest:
-                raise ValueError("content digest mismatch")
-            payload = pickle.loads(zlib.decompress(body))
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception as exc:
-            # Corrupt/truncated/unpicklable entry: drop it, treat as miss.
-            self.misses += 1
-            self._evict(path, exc)
-            return None
-        self.hits += 1
-        return payload
+        for attempt in range(2):
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                self.misses += 1
+                return None
+            except OSError:
+                self.misses += 1
+                return None
+            try:
+                body = self._verified_body(blob)
+                payload = pickle.loads(zlib.decompress(body))
+            except Exception as exc:
+                # Corrupt/truncated/unpicklable entry: drop it, treat
+                # as a miss.
+                self.misses += 1
+                self._evict(path, exc, observed=blob)
+                return None
+            self.hits += 1
+            return payload
+        return None  # pragma: no cover - loop always returns
 
-    def _evict(self, path: Path, reason: Exception) -> None:
-        """Delete a damaged entry (logged; never raises)."""
-        log.warning("evicting corrupt cache entry %s: %s", path, reason)
+    def _verified_body(self, blob: bytes) -> bytes:
+        """The entry body iff the digest header checks out (raises)."""
+        if len(blob) < DIGEST_BYTES:
+            raise ValueError(f"entry shorter than its {DIGEST_BYTES}"
+                             f"-byte digest header ({len(blob)} bytes)")
+        digest, body = blob[:DIGEST_BYTES], blob[DIGEST_BYTES:]
+        if hashlib.sha256(body).digest() != digest:
+            raise ValueError("content digest mismatch")
+        return body
+
+    def _verify_blob(self, blob: bytes) -> bool:
         try:
-            path.unlink()
+            self._verified_body(blob)
+        except ValueError:
+            return False
+        return True
+
+    def _evict(self, path: Path, reason: Exception,
+               observed: bytes | None = None) -> None:
+        """Remove a damaged entry via tombstone-then-unlink.
+
+        The entry is first renamed to a per-process tombstone -- an
+        atomic step that takes it out of readers' way without a window
+        where a *rebuilt* entry could be deleted by mistake.  If the
+        tombstoned bytes turn out to differ from the corrupt bytes we
+        observed *and* verify cleanly, a concurrent writer rebuilt the
+        entry between our read and the rename -- restore it instead of
+        unlinking.  Logged; never raises.
+        """
+        log.warning("evicting corrupt cache entry %s: %s", path, reason)
+        tomb = path.with_name(f"{path.name}.tomb-{os.getpid()}")
+        try:
+            os.replace(path, tomb)
+        except OSError:
+            return  # already gone: someone else evicted or rebuilt it
+        try:
+            current = tomb.read_bytes()
+        except OSError:
+            current = None
+        if (current is not None and observed is not None
+                and current != observed and self._verify_blob(current)):
+            # We grabbed a freshly rebuilt (good) entry: put it back.
+            try:
+                os.replace(tomb, path)
+            except OSError:
+                pass
+            return
+        try:
+            tomb.unlink()
         except OSError:
             pass
 
-    def put(self, key: str, payload) -> None:
+    def put(self, key: str, payload: Any) -> None:
         """Store an artifact atomically (no-op when disabled)."""
         if not self.enabled:
             return
@@ -207,11 +277,18 @@ class ArtifactCache:
 
     # -------------------------------------------------------- maintenance
 
-    def _entries(self):
+    def _entries(self) -> Iterator[Path]:
         base = self.root / SCHEMA_VERSION
         if not base.is_dir():
             return
         for path in sorted(base.glob("*/*.bin")):
+            yield path
+
+    def _tombstones(self) -> Iterator[Path]:
+        base = self.root / SCHEMA_VERSION
+        if not base.is_dir():
+            return
+        for path in sorted(base.glob("*/*.bin.tomb-*")):
             yield path
 
     def stats(self) -> CacheStats:
@@ -227,12 +304,18 @@ class ArtifactCache:
                           misses=self.misses)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and stale tombstones); returns the
+        number of entries removed."""
         removed = 0
         for path in self._entries():
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in self._tombstones():
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed
@@ -243,7 +326,7 @@ def default_cache() -> ArtifactCache:
     return ArtifactCache(enabled=cache_enabled())
 
 
-def resolve_cache(cache) -> ArtifactCache:
+def resolve_cache(cache: Any) -> ArtifactCache:
     """Normalize a ``Lab(cache=...)`` argument.
 
     ``None`` -> the environment-default cache; ``False`` -> a disabled

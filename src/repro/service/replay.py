@@ -1,0 +1,122 @@
+"""Request-replay load generation and the service latency benchmark.
+
+:func:`generate_requests` produces a seeded, mixed stream of service
+requests — run-heavy, with compile/trace/lint traffic and a sprinkle
+of small fault campaigns — over a set of quick benchmarks, imitating
+the query mix a study driver sends the service.  The stream is fully
+deterministic in its seed, which is what lets the chaos harness replay
+the *same* traffic against a clean and a fault-injected service and
+demand byte-identical answers.
+
+:func:`replay_benchmark` drives a private :class:`SimulationService`
+with such a stream and reports throughput and tail latency (p50/p99),
+plus the loss counter the CI perf budget pins to zero.  A *lost*
+request is one that got no answer or a transient-infrastructure error;
+a deterministic task failure is an answer, not a loss.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Any
+
+from .model import KINDS, Request, Response
+from .policy import BackoffPolicy
+from .service import SimulationService
+
+#: Quick cells: every benchmark here runs in well under a second per
+#: target, so thousand-request replays stay inside the CI budget.
+QUICK_BENCHMARKS = ("ackermann", "bubblesort", "queens", "towers")
+QUICK_TARGETS = ("d16", "dlxe")
+
+#: Traffic mix (kind -> weight); run-heavy like a real study driver.
+MIX = {"run": 10, "compile": 4, "trace": 2, "lint": 3, "faults": 1}
+
+
+def generate_requests(seed: int, count: int, *,
+                      benchmarks: tuple[str, ...] = QUICK_BENCHMARKS,
+                      targets: tuple[str, ...] = QUICK_TARGETS
+                      ) -> list[Request]:
+    """A deterministic mixed request stream of ``count`` requests."""
+    rng = random.Random(seed)
+    kinds = [k for k in KINDS for _ in range(MIX[k])]
+    out: list[Request] = []
+    for index in range(count):
+        kind = rng.choice(kinds)
+        bench = rng.choice(benchmarks)
+        target = rng.choice(targets)
+        faults = 4 if kind == "faults" else 0
+        fseed = rng.randrange(1, 4) if kind == "faults" else 1
+        out.append(Request(kind=kind, bench=bench, target=target,
+                           faults=faults, seed=fseed,
+                           id=f"r{index:05d}"))
+    return out
+
+
+def execute_in_waves(service: SimulationService,
+                     requests: list[Request], *,
+                     waves: int = 10) -> list[Response]:
+    """Execute a stream in sequential waves (parallel within each).
+
+    Waves model a study driver issuing query batches over time: a
+    request repeated in a *later* wave exercises the store's read path
+    (cache hit, digest verification, corruption recovery) instead of
+    coalescing onto an in-flight batch the way a single all-at-once
+    submission would.
+    """
+    size = max(1, -(-len(requests) // max(1, waves)))
+    responses: list[Response] = []
+    for start in range(0, len(requests), size):
+        responses.extend(service.execute(requests[start:start + size]))
+    return responses
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def is_lost(response: Response | None) -> bool:
+    """True when the service failed to *answer* the request."""
+    if response is None:
+        return True
+    return (not response.ok and response.error is not None
+            and bool(response.error.get("transient")))
+
+
+def replay_benchmark(root: str | os.PathLike[str], *, seed: int = 42,
+                     count: int = 1000, jobs: int = 2,
+                     task_timeout: float = 60.0) -> dict[str, Any]:
+    """Replay a mixed stream and measure service latency/throughput."""
+    requests = generate_requests(seed, count)
+    backoff = BackoffPolicy(base_s=0.02, max_s=0.25, max_attempts=6)
+    started = time.monotonic()
+    with SimulationService(root, jobs=jobs, seed=seed, backoff=backoff,
+                           task_timeout=task_timeout) as service:
+        responses = execute_in_waves(service, requests)
+        stats = service.stats()
+    elapsed = time.monotonic() - started
+    latencies = [r.latency_s for r in responses]
+    lost = sum(1 for r in responses if is_lost(r))
+    lost += count - len(responses)
+    return {
+        "service_replay_requests": count,
+        "service_replay_seed": seed,
+        "service_replay_jobs": jobs,
+        "service_replay_wall_s": round(elapsed, 3),
+        "service_replay_rps": round(count / max(elapsed, 1e-9), 1),
+        "service_replay_p50_ms":
+            round(percentile(latencies, 0.50) * 1e3, 3),
+        "service_replay_p99_ms":
+            round(percentile(latencies, 0.99) * 1e3, 3),
+        "service_lost_requests": lost,
+        "service_cache_hits": int(stats.get("cache_hits", 0)),
+        "service_coalesced": int(stats.get("coalesced", 0)),
+        "service_batches": int(stats.get("batches", 0)),
+    }

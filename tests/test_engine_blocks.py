@@ -12,6 +12,8 @@ threshold, so most tests lower ``repro.machine.cpu.HOT_THRESHOLD`` to
 force compilation on the second visit of every block entry.
 """
 
+import hashlib
+
 import pytest
 
 from repro.asm import assemble, link
@@ -179,6 +181,123 @@ class TestPauseResume:
         paused.run(stop_after=131)
         resumed = paused.run()
         assert stats_key(resumed) == stats_key(straight)
+
+
+def arch_state(machine):
+    """Every architecturally visible piece of machine state.
+
+    Integer registers, FP registers, the FP status flag, the program
+    counter, the full memory image, the retirement count, the issue
+    clock, and the halt flag: if two engines agree on all of these at
+    a pause or watchdog boundary, a program resumed on either engine
+    cannot diverge afterwards.
+    """
+    return (machine.pc, tuple(machine.g), tuple(machine.f),
+            tuple(machine.fpstat),
+            hashlib.sha256(bytes(machine.mem.data)).hexdigest(),
+            machine.instructions_executed, machine.cycle_time,
+            machine.halted)
+
+
+class TestArchStateEquivalence:
+    """Mid-block pauses and watchdog fires leave identical state.
+
+    The blocks engine retires whole compiled blocks at a time, so a
+    ``stop_after`` or watchdog boundary that lands *inside* a block
+    forces it down the stepping path (or through the spill-recovery
+    path for in-block aborts).  These tests lock that every such
+    boundary leaves the full architectural state — not just the run
+    statistics — byte-identical to the step engine's.
+    """
+
+    @pytest.mark.parametrize("tmpl", [LOOP_TMPL, MIXED_TMPL, FP_TMPL],
+                             ids=["loop", "mixed", "fp"])
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_pause_mid_block_state_identical(self, hot, tmpl, isa):
+        exe = build_asm(tmpl.format(cnt=CNT[isa]), isa)
+        m_step = Machine(exe, engine="step")
+        m_blk = Machine(exe, engine="blocks")
+        # A stride of 5 is coprime with the loop bodies, so pauses
+        # land at different offsets inside the compiled loop block.
+        for stop in range(5, 200, 5):
+            s = m_step.run(stop_after=stop)
+            b = m_blk.run(stop_after=stop)
+            assert arch_state(m_step) == arch_state(m_blk), \
+                f"state diverged at stop_after={stop}"
+            assert stats_key(s) == stats_key(b)
+            if m_step.halted:
+                break
+        final_s = m_step.run()
+        final_b = m_blk.run()
+        assert arch_state(m_step) == arch_state(m_blk)
+        assert stats_key(final_s) == stats_key(final_b)
+        assert any(isinstance(blk, CompiledBlock)
+                   for blk in m_blk._blocks)
+
+    def timeout_state(self, exe, engine, **kwargs):
+        machine = Machine(exe, engine=engine)
+        with pytest.raises(MachineTimeout) as info:
+            machine.run(**kwargs)
+        e = info.value
+        return machine, (e.reason, e.pc, e.executed)
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_fuel_fire_state_identical(self, hot, isa):
+        spin = TestWatchdogs.SPIN.format(cnt=CNT[isa])
+        exe = build_asm(spin, isa)
+        m_step, e_step = self.timeout_state(exe, "step",
+                                            max_instructions=500)
+        m_blk, e_blk = self.timeout_state(exe, "blocks",
+                                          max_instructions=500)
+        assert e_step == e_blk
+        assert arch_state(m_step) == arch_state(m_blk)
+        assert any(isinstance(blk, CompiledBlock)
+                   for blk in m_blk._blocks)
+
+    def test_cycle_fire_state_identical(self, hot):
+        exe = build_asm(TestWatchdogs.SPIN.format(cnt="r0"))
+        m_step, e_step = self.timeout_state(exe, "step", max_cycles=400)
+        m_blk, e_blk = self.timeout_state(exe, "blocks", max_cycles=400)
+        assert e_step == e_blk
+        assert arch_state(m_step) == arch_state(m_blk)
+
+    def test_no_progress_fire_inside_block_state_identical(self, hot):
+        # The self-branch compiles into a block, so the blocks engine
+        # detects no-progress *inside* blk.fn and must recover the
+        # partially retired block through the spill path before
+        # raising -- the step engine's state is the oracle.
+        exe = build_asm("mvi r0, 3\nhang:\nbr hang\ntrap 0\n")
+        m_step, e_step = self.timeout_state(exe, "step")
+        m_blk, e_blk = self.timeout_state(exe, "blocks")
+        assert e_step == e_blk
+        assert arch_state(m_step) == arch_state(m_blk)
+
+    @pytest.mark.parametrize("isa", [D16, DLXE], ids=["d16", "dlxe"])
+    def test_resume_after_fuel_fire_completes_identically(self, hot,
+                                                          isa):
+        # A watchdog fire must not poison the machine: resuming with a
+        # bigger budget finishes the program with the same final state
+        # and statistics on both engines (and matches a straight run).
+        exe = build_asm(LOOP_TMPL.format(cnt=CNT[isa]), isa)
+        straight, _ = run_executable(exe, engine="step")
+        finals = {}
+        for engine in ("step", "blocks"):
+            machine = Machine(exe, engine=engine)
+            with pytest.raises(MachineTimeout):
+                machine.run(max_instructions=17)
+            paused = arch_state(machine)
+            finals[engine] = (paused, machine.run(), arch_state(machine))
+        step_pause, step_stats, step_final = finals["step"]
+        blk_pause, blk_stats, blk_final = finals["blocks"]
+        assert step_pause == blk_pause
+        assert step_final == blk_final
+        assert stats_key(step_stats) == stats_key(blk_stats)
+        # The fuel-tripping instruction is charged to the count before
+        # it executes and re-runs on resume, so retirement counts sit
+        # one above an uninterrupted run; the program-visible outcome
+        # must still be identical.
+        assert blk_stats.output == straight.output
+        assert blk_stats.exit_code == straight.exit_code
 
 
 class TestWatchdogs:

@@ -233,3 +233,52 @@ class TestFailSoftGrid:
             assert isinstance(err, RunError)
             assert err.kind == "worker-lost"
             assert err.attempts == 2       # first try + one retry
+
+    def test_run_error_diagnostics_survive_into_records(
+            self, monkeypatch, tmp_path):
+        """Degraded grids are diagnosable from the JSON alone: the
+        retry/backoff diagnostics ride the RunError into
+        ``grid_records`` output."""
+        import os
+
+        import repro.experiments.runner as runner
+        from repro.experiments import grid_records
+
+        real_build = runner.build_executable
+
+        def dying_build(source, target, **kwargs):
+            if "fs_rec_marker" in source:
+                os._exit(13)
+            return real_build(source, target, **kwargs)
+
+        monkeypatch.setattr(runner, "build_executable", dying_build)
+        register_benchmark(Benchmark(
+            "fs-rec", "kills its worker process", ("5",),
+            inline_source="int main() { int fs_rec_marker; "
+                          "puti(5); return 0; }"))
+        lab = Lab(cache=tmp_path / "cache", retries=2,
+                  retry_backoff=0.05)
+        # Both cells die, so the shared pool never poisons a healthy
+        # sibling; the healthy cell runs sequentially afterwards.
+        grid = lab.runs(("fs-rec",), ("d16", "dlxe"), jobs=2,
+                        partial=True)
+        err = grid["fs-rec"]["d16"]
+        assert isinstance(err, RunError)
+        assert err.attempts == 3
+        assert err.backoff_total_s == pytest.approx(0.1)
+        assert not err.breaker_open
+        assert "+0.10s backoff" in str(err)
+
+        grid.update(lab.runs(("ackermann",), ("d16",), partial=True))
+        records = grid_records(grid)
+        by_cell = {(record["bench"], record["target"]): record
+                   for record in records}
+        bad = by_cell[("fs-rec", "d16")]
+        assert bad["ok"] is False
+        assert bad["kind"] == "worker-lost"
+        assert bad["attempts"] == 3
+        assert bad["backoff_total_s"] == pytest.approx(0.1)
+        assert bad["breaker_open"] is False
+        good = by_cell[("ackermann", "d16")]
+        assert good["ok"] is True
+        assert good["instructions"] > 0

@@ -154,6 +154,155 @@ class TestStore:
         assert (cache.hits, cache.misses) == (1, 1)
 
 
+class TestEvictionRace:
+    """Tombstone-then-unlink eviction and reader retry-on-miss.
+
+    The race under test: process A reads entry bytes, finds them
+    corrupt, and goes to evict; process B rebuilds the entry in the
+    same window.  A plain unlink would destroy B's good entry; the
+    tombstone rename lets A notice the bytes changed underneath it and
+    restore the rebuilt entry instead.
+    """
+
+    def test_evict_restores_concurrently_rebuilt_entry(self, cache):
+        key = cache.make_key("exe", {})
+        cache.put(key, {"v": 1})
+        path = cache.entry_path(key)
+        good = path.read_bytes()
+        corrupt = b"x" * 40
+        # A observed corrupt bytes; B rebuilt before A's rename fired.
+        cache._evict(path, ValueError("simulated"), observed=corrupt)
+        assert path.read_bytes() == good          # B's entry survived
+        assert cache.get(key) == {"v": 1}
+        assert not list(path.parent.glob("*.tomb-*"))
+
+    def test_evict_unlinks_genuinely_corrupt_entry(self, cache):
+        key = cache.make_key("exe", {})
+        cache.put(key, {"v": 1})
+        path = cache.entry_path(key)
+        corrupt = b"x" * 40
+        path.write_bytes(corrupt)
+        cache._evict(path, ValueError("simulated"), observed=corrupt)
+        assert not path.exists()
+        assert not list(path.parent.glob("*.tomb-*"))
+
+    def test_evict_discards_rebuilt_but_still_corrupt_entry(self, cache):
+        # The bytes changed under the evictor but the replacement does
+        # not verify either: it must be dropped, not restored.
+        key = cache.make_key("exe", {})
+        cache.put(key, {"v": 1})
+        path = cache.entry_path(key)
+        path.write_bytes(b"y" * 64)
+        cache._evict(path, ValueError("simulated"), observed=b"x" * 40)
+        assert not path.exists()
+        assert not list(path.parent.glob("*.tomb-*"))
+
+    def test_evict_tolerates_already_removed_entry(self, cache, tmp_path):
+        missing = tmp_path / "cache" / "v2" / "ab" / "gone.bin"
+        cache._evict(missing, ValueError("simulated"))  # must not raise
+
+    def test_reader_retries_once_on_vanished_entry(self, cache,
+                                                   monkeypatch):
+        from pathlib import Path
+
+        key = cache.make_key("exe", {})
+        cache.put(key, {"v": 1})
+        path = cache.entry_path(key)
+        real = Path.read_bytes
+        calls = {"misses": 0}
+
+        def flaky(self):
+            if self == path and calls["misses"] == 0:
+                calls["misses"] += 1
+                raise FileNotFoundError(str(self))
+            return real(self)
+
+        monkeypatch.setattr(Path, "read_bytes", flaky)
+        assert cache.get(key) == {"v": 1}
+        assert calls["misses"] == 1
+
+    def test_clear_sweeps_stale_tombstones(self, cache):
+        key = cache.make_key("exe", {})
+        cache.put(key, {"v": 1})
+        path = cache.entry_path(key)
+        tomb = path.with_name(path.name + ".tomb-99999")
+        tomb.write_bytes(b"leftover from a crashed evictor")
+        assert cache.clear() == 1
+        assert not tomb.exists()
+
+    def test_concurrent_readers_writers_corruptor_stress(self, cache):
+        """Readers never see garbage or raise while writers rebuild
+        and a corruptor flips bytes under everyone."""
+        import random
+        import threading
+
+        keys = [cache.make_key("exe", {"i": i}) for i in range(8)]
+        payloads = {k: {"k": k, "data": list(range(64))} for k in keys}
+        for k in keys:
+            cache.put(k, payloads[k])
+        stop = threading.Event()
+        errors = []
+
+        def writer(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                k = rng.choice(keys)
+                try:
+                    cache.put(k, payloads[k])
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+        def reader(seed):
+            rng = random.Random(seed)
+            own = ArtifactCache(cache.root)
+            while not stop.is_set():
+                k = rng.choice(keys)
+                try:
+                    got = own.get(k)
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    continue
+                if got is not None and got != payloads[k]:
+                    errors.append(
+                        AssertionError(f"reader saw garbage for {k}"))
+
+        def corruptor(seed):
+            rng = random.Random(seed)
+            while not stop.is_set():
+                path = cache.entry_path(rng.choice(keys))
+                try:
+                    blob = bytearray(path.read_bytes())
+                except OSError:
+                    continue
+                if blob:
+                    blob[len(blob) // 2] ^= 0xFF
+                    try:
+                        path.write_bytes(bytes(blob))
+                    except OSError:
+                        pass
+
+        threads = [threading.Thread(target=writer, args=(s,))
+                   for s in (1, 2)]
+        threads += [threading.Thread(target=reader, args=(s,))
+                    for s in (3, 4, 5)]
+        threads += [threading.Thread(target=corruptor, args=(6,))]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(1.5, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(timeout=30)
+        stop_timer.cancel()
+        stop.set()
+        assert not errors, errors[:3]
+        # The cache heals completely once the chaos stops.
+        for k in keys:
+            cache.put(k, payloads[k])
+        fresh = ArtifactCache(cache.root)
+        for k in keys:
+            assert fresh.get(k) == payloads[k]
+
+
 class TestResolve:
     def test_false_disables(self):
         assert resolve_cache(False).enabled is False
