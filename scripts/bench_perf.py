@@ -21,11 +21,17 @@ Phases timed (see :mod:`repro.bench.timing`):
                                            the same cell (three-layer lint,
                                            WCET composition, I-cache
                                            classification + replay, and the
-                                           translation-validation sweep).
+                                           translation-validation sweep);
+* ``faults_plain`` / ``faults_pruned``  -- a seeded fault campaign executed
+                                           in full and again with the
+                                           statically-proven-masked sites
+                                           pruned, outcome-equivalence
+                                           checked.
 
-``cacheperf_speedup``, ``sim_speedup``, and ``icache_replay_speedup``
-record the corresponding ratios so the perf trajectory is tracked
-across PRs; CI enforces them via ``scripts/check_perf_budget.py``.
+``cacheperf_speedup``, ``sim_speedup``, ``icache_replay_speedup``, and
+``faults_prune_speedup`` record the corresponding ratios so the perf
+trajectory is tracked across PRs; CI enforces them via
+``scripts/check_perf_budget.py``.
 
 Run:  PYTHONPATH=src python scripts/bench_perf.py [-o BENCH_repro.json]
 """
@@ -50,6 +56,8 @@ def main(argv=None) -> int:
                         help="skip the two-engine benchmark-suite timing")
     parser.add_argument("--no-analysis", action="store_true",
                         help="skip the static-analysis-stack timing")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="skip the fault-campaign pruning benchmark")
     parser.add_argument("--no-service", action="store_true",
                         help="skip the service request-replay benchmark")
     parser.add_argument("--service-requests", type=int, default=1000,
@@ -63,6 +71,7 @@ def main(argv=None) -> int:
                              sequential_baseline=not args.no_sequential,
                              sim_engines=not args.no_sim,
                              analysis=not args.no_analysis,
+                             fault_pruning=not args.no_faults,
                              cache_root=root)
     if not args.no_service:
         from repro.service import replay_benchmark
@@ -83,9 +92,15 @@ def main(argv=None) -> int:
     for label, metric in (("cacheperf speedup", "cacheperf_speedup"),
                           ("sim speedup", "sim_speedup"),
                           ("icache replay speedup",
-                           "icache_replay_speedup")):
+                           "icache_replay_speedup"),
+                          ("faults prune speedup",
+                           "faults_prune_speedup")):
         if metric in report:
             print(f"{label:24s} {report[metric]:8.2f}x")
+    if "faults_campaign_pruned" in report:
+        print(f"{'faults pruned':24s} {report['faults_campaign_pruned']}"
+              f"/{report['faults_campaign_total']} injections "
+              f"({report['vuln_unsound']} unsound)")
     if "service_replay_p50_ms" in report:
         print(f"{'service replay':24s} "
               f"{report['service_replay_requests']} requests in "

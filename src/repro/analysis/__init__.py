@@ -46,7 +46,7 @@ from .driver import (DEFAULT_MISS_PENALTY, DEFAULT_TARGETS, EXIT_ERRORS,
                      density_suite, exit_code, icache_program,
                      icache_suite, lint_program, lint_suite,
                      timing_program, timing_suite, tv_suite,
-                     wcet_program, wcet_suite)
+                     vuln_program, vuln_suite, wcet_program, wcet_suite)
 from .equiv import (BinaryCheck, MutantResult, PassCheck, TvReport,
                     check_binary_program, check_pass, mutation_campaign,
                     tv_program, validate_passes)
@@ -56,6 +56,12 @@ from .findings import (Finding, RULES, Rule, SCHEMA_VERSION, Severity,
 from .icache import (FetchSite, ICacheAnalysis, ICacheValidation,
                      SiteClass, analyze_icache, validate_icache)
 from .irverify import verify_function, verify_module
+from .liveness import (DeadStore, DeadWrite, FunctionLiveness, LoadSite,
+                       LivenessAnalysis, analyze_liveness,
+                       liveness_findings)
+from .vuln import (CellVulnerability, MaskingOracle, SiteVerdict,
+                   VulnSummary, avf_summary, build_oracle,
+                   check_soundness, classify_cell, vuln_findings)
 from .loops import DomTree, Loop, LoopForest, dominator_tree, find_loops
 from .timing import (BlockBounds, StaticBounds, TimingValidation,
                      block_stall_bounds, check_timing, exit_seed,
@@ -71,23 +77,27 @@ from .xisa import (CrossIsaReport, analyze_source, check_cross_isa,
 
 __all__ = [
     "AnalysisResult", "BasicBlock", "BinaryCFG", "BinaryCheck",
-    "BlockBounds",
+    "BlockBounds", "CellVulnerability",
     "CrossIsaReport", "DEFAULT_MISS_PENALTY", "DEFAULT_SLACK",
-    "DEFAULT_TARGETS", "DomTree",
+    "DEFAULT_TARGETS", "DeadStore", "DeadWrite", "DomTree",
     "EXIT_ERRORS", "EXIT_INTERNAL", "EXIT_OK", "FetchSite", "Finding",
-    "FunctionDensity", "FunctionSummary", "FunctionTiming",
+    "FunctionDensity", "FunctionLiveness", "FunctionSummary",
+    "FunctionTiming",
     "ICacheAnalysis", "ICacheValidation", "Interval", "Leaf",
-    "LintReport", "Loop", "LoopBound", "LoopForest", "MutantResult",
+    "LintReport", "LivenessAnalysis", "LoadSite", "Loop", "LoopBound",
+    "LoopForest", "MaskingOracle", "MutantResult",
     "PassCheck", "ProgramDensity",
     "ProgramWcet", "RULES", "Rule", "SCHEMA_VERSION", "SPRel",
-    "Severity", "SiteClass", "StaticBounds", "Term",
+    "Severity", "SiteClass", "SiteVerdict", "StaticBounds", "Term",
     "TimingValidation", "TvReport", "Unknown",
-    "ValueDomain",
+    "ValueDomain", "VulnSummary",
     "WcetValidation", "analyze_density", "analyze_executable",
-    "analyze_icache",
-    "analyze_source", "analyze_wcet", "block_stall_bounds", "build_cfg",
+    "analyze_icache", "analyze_liveness",
+    "analyze_source", "analyze_wcet", "avf_summary",
+    "block_stall_bounds", "build_cfg", "build_oracle",
     "check_binary_program", "check_cross_isa", "check_pass",
-    "check_timing", "check_wcet", "compare_analyses",
+    "check_soundness",
+    "check_timing", "check_wcet", "classify_cell", "compare_analyses",
     "cross_isa_suite", "density_suite", "dominator_tree",
     "estimate_halfwords", "exit_code", "exit_seed", "explore_region",
     "find_loops",
@@ -95,12 +105,13 @@ __all__ = [
     "icache_program",
     "icache_suite", "infer_loop_bound", "is_ground",
     "lint_assembly", "lint_executable", "lint_program", "lint_suite",
-    "mutation_campaign",
+    "liveness_findings", "mutation_campaign",
     "predecessor_seed", "render_json", "render_text", "resolve_cfg",
     "rule_doc_url", "single_def_terms", "solve", "static_bounds",
     "summarize", "summarize_binary_function", "summarize_ir_function",
     "timing_program", "timing_suite", "tv_program", "tv_suite",
     "validate_icache", "validate_passes", "validate_run",
     "validate_wcet",
-    "verify_function", "verify_module", "wcet_program", "wcet_suite",
+    "verify_function", "verify_module", "vuln_findings",
+    "vuln_program", "vuln_suite", "wcet_program", "wcet_suite",
 ]

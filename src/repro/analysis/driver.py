@@ -419,6 +419,98 @@ def density_suite(programs: Iterable[str] | None = None, *,
     return reports, densities
 
 
+def vuln_program(source: str, target: TargetSpec | str, *,
+                 opt_level: int = 2,
+                 include_runtime: bool = True,
+                 params: PipelineParams | None = None,
+                 faults: int = 20, seed: int = 42,
+                 name: str = "<file>"):
+    """Compile, trace, and statically classify one program's planned
+    fault sites (``repro lint --vuln`` file mode).
+
+    Returns ``(cell, waived, findings)`` — the
+    :class:`~repro.analysis.vuln.CellVulnerability`, the liveness
+    waiver list, and the combined LIV/VULN findings.
+    """
+    from ..machine import run_executable
+    from .liveness import analyze_liveness, liveness_findings
+    from .vuln import classify_cell, vuln_findings
+
+    if isinstance(target, str):
+        target = get_target(target)
+    full_source = (RUNTIME_SOURCE + "\n" + source) if include_runtime \
+        else source
+    module = lower_program(parse(full_source))
+    optimize_module(module, level=opt_level)
+    assembly = generate_assembly(module, target, schedule=opt_level >= 1)
+    obj = Assembler(target.isa).assemble(assembly)
+    exe = link([obj])
+    stats, machine = run_executable(exe, params=params,
+                                    trace_instructions=True)
+    cfg, result = resolve_cfg(exe, target.isa, target=target)
+    cfg, result = _promote_direct_calls(cfg, None, target, result)
+    liveness = analyze_liveness(exe, target.isa, target=target,
+                                cfg=cfg, result=result)
+    live_findings, waived = liveness_findings(liveness, target)
+    cell = classify_cell(name, target.name, exe, target, machine.itrace,
+                         stats.instructions, faults=faults, seed=seed,
+                         liveness=liveness)
+    return cell, waived, live_findings + vuln_findings(cell)
+
+
+def vuln_suite(targets: Iterable[str] = DEFAULT_TARGETS,
+               programs: Iterable[str] | None = None, *,
+               params: PipelineParams | None = None,
+               lab: Lab | None = None,
+               faults: int = 20, seed: int = 42,
+               ) -> tuple[list[LintReport], dict]:
+    """Liveness lint plus static fault classification over the suite.
+
+    For every benchmark cell: run the backward liveness fixpoint
+    (LIV001/LIV002 dead-code findings, ABI-convention sites waived),
+    then statically classify exactly the fault sites the seeded PR-4
+    campaign would inject (same planner PRNG stream) and summarize the
+    register-file exposure (VULN002).  Returns ``(reports, results)``
+    where ``results`` maps ``(program, target)`` to
+    ``(CellVulnerability, waived)`` — the cross-ISA AVF numbers feed
+    EXPERIMENTS.md and the ``--json`` report.
+    """
+    from ..experiments.runner import Lab
+    from .liveness import analyze_liveness, liveness_findings
+    from .vuln import classify_cell, vuln_findings
+
+    lab = lab or Lab(params=params)
+    names = list(programs) if programs is not None \
+        else [bench.name for bench in SUITE]
+    targets = tuple(targets)
+    reports: list[LintReport] = []
+    results: dict[tuple[str, str], tuple] = {}
+    for name in names:
+        for target_name in targets:
+            target = get_target(target_name)
+            exe = lab.executable(name, target_name)
+            run = lab.run(name, target_name)
+            trace = lab.trace(name, target_name)
+            # Lab images keep only global symbols: recover the CFG with
+            # value-analysis feedback and promote direct-call targets
+            # to function roots before the liveness fixpoint.
+            cfg, result = resolve_cfg(exe, target.isa, target=target)
+            cfg, result = _promote_direct_calls(cfg, None, target,
+                                                result)
+            liveness = analyze_liveness(exe, target.isa, target=target,
+                                        cfg=cfg, result=result)
+            live_findings, waived = liveness_findings(liveness, target)
+            cell = classify_cell(name, target_name, exe, target,
+                                 trace.itrace, run.stats.instructions,
+                                 faults=faults, seed=seed,
+                                 liveness=liveness)
+            results[(name, target_name)] = (cell, waived)
+            reports.append(LintReport(
+                program=name, target=target_name,
+                findings=live_findings + vuln_findings(cell)))
+    return reports, results
+
+
 def tv_suite(programs: Iterable[str] | None = None, *,
              targets: tuple[str, ...] = DEFAULT_TARGETS,
              opt_level: int = 2,

@@ -106,6 +106,16 @@ RULES: dict[str, Rule] = {r.id: r for r in (
     Rule("EQ004", Severity.ERROR, "binary observable behavior diverges "
                                   "from the IR"),
     Rule("EQ005", Severity.INFO, "translation-validation statistics"),
+    # Liveness / dead code (repro.analysis.liveness)
+    Rule("LIV001", Severity.WARNING, "frame store provably dead "
+                                     "(never loaded back)"),
+    Rule("LIV002", Severity.WARNING, "register write provably dead "
+                                     "(overwritten before any use)"),
+    # Static fault vulnerability (repro.analysis.vuln)
+    Rule("VULN001", Severity.ERROR, "statically-proven-masked fault "
+                                    "site observed as non-masked"),
+    Rule("VULN002", Severity.INFO, "static fault-vulnerability "
+                                   "statistics"),
 )}
 
 #: Version of the JSON report layout produced by :func:`render_json`.
@@ -117,9 +127,11 @@ RULES: dict[str, Rule] = {r.id: r for r in (
 #: emitted by ``repro lint --icache --json``.  Version 4 added the
 #: translation-validation rules (EQ001-005), the per-cell ``tv``
 #: records emitted by ``repro lint --tv --json``, and the aggregate
-#: ``modes`` map emitted by ``repro lint --all --json``; docs/linting.md
-#: documents every migration.
-SCHEMA_VERSION = 4
+#: ``modes`` map emitted by ``repro lint --all --json``.  Version 5
+#: added the liveness/vulnerability rules (LIV001-002, VULN001-002)
+#: and the per-cell ``vuln`` records emitted by ``repro lint --vuln
+#: --json``; docs/linting.md documents every migration.
+SCHEMA_VERSION = 5
 
 
 def rule_doc_url(rule_id: str) -> str:

@@ -14,8 +14,11 @@ report against the committed one in CI.
 
 Wall-clock seconds are machine-specific, so the cross-machine perf
 trajectory is carried by the *ratio* metrics (``sim_speedup``,
-``cacheperf_speedup``, ``icache_replay_speedup``): both sides of each
-ratio run on the same machine in the same process.
+``cacheperf_speedup``, ``icache_replay_speedup``,
+``faults_prune_speedup``): both sides of each ratio run on the same
+machine in the same process.  :func:`time_fault_pruning` contributes
+the last one -- a seeded fault campaign executed unpruned and then
+with ``prune_masked``, cross-checked outcome for outcome.
 """
 
 from __future__ import annotations
@@ -168,11 +171,65 @@ def time_analysis(*, program: str = "assem", target: str = "d16",
     }
 
 
+def time_fault_pruning(*, benchmarks=("ackermann", "queens"),
+                       faults: int = 10, seed: int = 42) -> dict:
+    """Time a seeded fault campaign unpruned vs ``prune_masked``.
+
+    Both campaigns run sequentially in this process on the same cells
+    with the same planner stream, so ``faults_prune_speedup`` is the
+    wall-clock ratio of *equivalent* campaigns -- equivalence is
+    enforced here by byte-comparing the per-cell outcome counts.  The
+    report also carries the soundness invariant the budget check locks:
+    ``vuln_unsound`` counts pruned sites whose actually-executed
+    outcome in the unpruned run was anything but masked.
+    """
+    from ..faults import FaultCampaign
+
+    benchmarks = tuple(benchmarks)
+    seconds: dict[str, float] = {}
+
+    def clock(name, fn):
+        started = time.perf_counter()
+        value = fn()
+        seconds[name] = time.perf_counter() - started
+        return value
+
+    plain = clock("faults_plain", lambda: FaultCampaign(
+        benchmarks=benchmarks, faults=faults, seed=seed).run())
+    pruned = clock("faults_pruned", lambda: FaultCampaign(
+        benchmarks=benchmarks, faults=faults, seed=seed,
+        prune_masked=True).run())
+
+    assert plain["summary"] == pruned["summary"], \
+        "masked-site pruning changed campaign outcome counts"
+    unsound = 0
+    for cell_plain, cell_pruned in zip(plain["cells"], pruned["cells"]):
+        outcomes = {f["index"]: f["outcome"]
+                    for f in cell_plain.get("faults", [])}
+        for fault in cell_pruned.get("faults", []):
+            if str(fault.get("detail", "")).startswith("pruned:") \
+                    and outcomes.get(fault["index"]) != "masked":
+                unsound += 1
+    return {
+        "faults_campaign_cells": len(plain["cells"]),
+        "faults_campaign_total": sum(len(c.get("faults", []))
+                                     for c in plain["cells"]),
+        "faults_campaign_pruned": sum(c.get("pruned", 0)
+                                      for c in pruned["cells"]),
+        "faults_plain_s": seconds["faults_plain"],
+        "faults_pruned_s": seconds["faults_pruned"],
+        "faults_prune_speedup": (seconds["faults_plain"]
+                                 / seconds["faults_pruned"]),
+        "vuln_unsound": unsound,
+    }
+
+
 def time_phases(*, program: str = "assem", target: str = "d16",
                 sizes=None, blocks=None,
                 sequential_baseline: bool = True,
                 sim_engines: bool = True,
                 analysis: bool = True,
+                fault_pruning: bool = True,
                 cache_root=None) -> dict:
     """Time each pipeline phase; returns a JSON-serializable report.
 
@@ -220,6 +277,8 @@ def time_phases(*, program: str = "assem", target: str = "d16",
     if analysis:
         report.update(time_analysis(program=program, target=target,
                                     sizes=sizes))
+    if fault_pruning:
+        report.update(time_fault_pruning())
     if sequential_baseline:
         # The baseline is the *seed's* sweep: one scalar pure-Python
         # cache walk per configuration.  Forcing the python engine

@@ -131,12 +131,13 @@ def _lint(args) -> int:
         # One pass over every analysis mode; the combined report keeps
         # the shared exit-code contract (any error finding -> 1).
         args.timing = args.wcet = args.icache = True
-        args.density = args.tv = True
+        args.density = args.tv = args.vuln = True
     timing_validations = None
     wcet_validations = None
     densities = None
     icache_results = None
     tv_results = None
+    vuln_results = None
     icache_sizes = None
     if args.icache_sizes:
         icache_sizes = tuple(int(s) for s in
@@ -214,6 +215,18 @@ def _lint(args) -> int:
             reports.extend(track("icache", [LintReport(
                 program=file, target=args.target,
                 findings=cell_findings)]))
+        if args.vuln:
+            from .analysis import vuln_program
+
+            cell, waived, cell_findings = vuln_program(
+                source, args.target, opt_level=args.opt,
+                include_runtime=not args.no_runtime,
+                faults=args.vuln_faults, seed=args.vuln_seed,
+                name=file)
+            vuln_results = {(file, args.target): (cell, waived)}
+            reports.extend(track("vuln", [LintReport(
+                program=file, target=args.target,
+                findings=cell_findings)]))
         if args.cross_isa:
             from .analysis import check_cross_isa
 
@@ -268,6 +281,13 @@ def _lint(args) -> int:
             reports.extend(track("cross-isa", cross_isa_suite(
                 names or None, targets=(targets[0], targets[1]),
                 opt_level=args.opt)))
+        if args.vuln:
+            from .analysis import vuln_suite
+
+            vuln_reports, vuln_results = vuln_suite(
+                targets, names or None, faults=args.vuln_faults,
+                seed=args.vuln_seed)
+            reports.extend(track("vuln", vuln_reports))
         if args.tv:
             tv_reports, tv_results = tv_suite(
                 names or None, targets=tuple(targets),
@@ -300,6 +320,13 @@ def _lint(args) -> int:
                  "ratio": round(d.ratio, 4),
                  "functions": d.function_records()}
                 for (prog, tname), d in sorted(densities.items())]
+        if vuln_results:
+            extra["vuln"] = [
+                dict(cell.to_dict(),
+                     waived=[{"location": where, "justification": why}
+                             for where, why in waived])
+                for (_prog, _tname), (cell, waived)
+                in sorted(vuln_results.items())]
         if tv_results:
             extra["tv"] = [
                 {"program": prog,
@@ -375,6 +402,18 @@ def _lint(args) -> int:
             for (prog, tname), d in sorted(densities.items()):
                 print(f"density: {prog}/{tname}  {d.dlxe_bytes}  "
                       f"{d.est_d16_bytes}  {d.ratio:.3f}  {d.fused_pairs}")
+        if args.stats and vuln_results:
+            print("vuln: program/target  proven/sites  by kind  AVF  "
+                  "waived")
+            for (prog, tname), (cell, waived) in sorted(
+                    vuln_results.items()):
+                kinds = " ".join(
+                    f"{kind}:{per['masked']}/{per['sites']}"
+                    for kind, per in cell.by_kind().items())
+                print(f"vuln: {prog}/{tname}  "
+                      f"{cell.proven_masked}/{len(cell.verdicts)}  "
+                      f"{kinds}  {cell.summary.avf:.3f}  "
+                      f"{len(waived)}")
         if args.stats and tv_results:
             print("tv: program  passes proven/unknown/divergent  "
                   "binary proven/unknown/divergent")
@@ -421,7 +460,8 @@ def cmd_faults(args) -> int:
             return 2
     campaign = FaultCampaign(
         benchmarks=tuple(names), targets=tuple(args.targets.split(",")),
-        faults=args.faults, seed=args.seed, kinds=kinds)
+        faults=args.faults, seed=args.seed, kinds=kinds,
+        prune_masked=args.prune_masked)
     report = campaign.run(jobs=args.jobs)
     text = render_report(report)
     if args.output:
@@ -435,9 +475,11 @@ def cmd_faults(args) -> int:
         f"detected {row['detected_rate']:.3f}, "
         f"flips-to-failure {row['flips_to_failure']}"
         for target, row in report["summary"].items())
+    pruned = sum(cell.get("pruned", 0) for cell in report["cells"])
+    note = f", {pruned} pruned" if args.prune_masked else ""
     print(f"faults: {len(report['cells'])} cells "
           f"({errors} failed), {args.faults} faults/cell, "
-          f"seed {args.seed} | {summary}", file=sys.stderr)
+          f"seed {args.seed}{note} | {summary}", file=sys.stderr)
     return 1 if errors else 0
 
 
@@ -608,9 +650,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="translation validation: prove every optimizer "
                         "pass application equivalent and match binary "
                         "effect summaries against the IR (EQ rules)")
+    p.add_argument("--vuln", action="store_true",
+                   help="backward liveness (LIV dead-code rules) plus "
+                        "static masked/ACE classification of the "
+                        "seeded fault sites and register-file AVF "
+                        "(VULN rules)")
+    p.add_argument("--vuln-faults", type=int, default=20, metavar="N",
+                   help="planned fault sites per cell for --vuln "
+                        "(default %(default)s, matching repro faults)")
+    p.add_argument("--vuln-seed", type=int, default=42, metavar="SEED",
+                   help="campaign seed for the --vuln site planner "
+                        "(default %(default)s)")
     p.add_argument("--all", action="store_true",
                    help="run every analysis mode (lint, timing, wcet, "
-                        "icache, density, tv) in one pass with a "
+                        "icache, density, tv, vuln) in one pass with a "
                         "combined report")
     p.add_argument("--no-runtime", action="store_true")
     p.add_argument("-O", "--opt", type=int, default=2)
@@ -642,6 +695,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: ifetch,reg,mem,trap,cache)")
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="run grid cells in N parallel processes")
+    p.add_argument("--prune-masked", action="store_true",
+                   help="skip injections the static vulnerability "
+                        "analysis proves masked (outcome counts are "
+                        "unchanged; pruned sites are recorded, not run)")
     p.add_argument("-o", "--output",
                    help="write the JSON report here instead of stdout")
     p.set_defaults(fn=cmd_faults)

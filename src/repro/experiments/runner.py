@@ -379,6 +379,65 @@ class Lab:
         return {"cells": len(results), "passes": passes,
                 "binary": binary}
 
+    def validate_vuln(self, programs=None,
+                      targets: tuple[str, ...] = MAIN_TARGETS, *,
+                      faults: int = 20, seed: int = 42) -> dict:
+        """Soundness sweep of the static fault-vulnerability analysis.
+
+        Statically classifies exactly the fault sites a seeded campaign
+        would inject, then executes every one of those sites for real
+        and cross-checks: a site the analysis proved masked must be
+        observed masked.  Raises :class:`ExperimentError` on any
+        VULN001 contradiction (locked to zero in CI).  Returns the
+        aggregate site/proven counts for reports and CI assertions.
+        """
+        from ..analysis import check_soundness, render_text, vuln_suite
+        from ..faults.campaign import plan_cell
+        from ..faults.inject import run_cache_fault, run_fault
+        from ..faults.model import GoldenRun
+
+        _reports, results = vuln_suite(targets, programs, lab=self,
+                                       faults=faults, seed=seed)
+        contradictions = []
+        sites = proven = 0
+        by_kind: dict[str, dict[str, int]] = {}
+        for (bench_name, target_name), (cell, _waived) \
+                in sorted(results.items()):
+            run = self.run(bench_name, target_name)
+            golden = GoldenRun(instructions=run.stats.instructions,
+                               interlocks=run.stats.interlocks,
+                               exit_code=run.stats.exit_code,
+                               output=run.stats.output)
+            exe = self.executable(bench_name, target_name)
+            specs = plan_cell(bench_name, target_name, golden, exe,
+                              faults=faults, seed=seed)
+            itrace = None
+            executed = []
+            for spec in specs:
+                if spec.kind == "cache":
+                    if itrace is None:
+                        itrace = self.trace(bench_name,
+                                            target_name).itrace
+                    executed.append(run_cache_fault(itrace, spec))
+                else:
+                    executed.append(run_fault(exe, spec, golden,
+                                              params=self.params))
+            contradictions += check_soundness(cell, executed)
+            sites += len(cell.verdicts)
+            proven += cell.proven_masked
+            for kind, counts in cell.by_kind().items():
+                agg = by_kind.setdefault(kind, {"sites": 0, "masked": 0})
+                agg["sites"] += counts["sites"]
+                agg["masked"] += counts["masked"]
+        if contradictions:
+            raise ExperimentError(
+                f"static fault-vulnerability analysis is unsound "
+                f"({len(contradictions)} proven-masked contradictions):"
+                f"\n{render_text(contradictions)}")
+        return {"cells": len(results), "sites": sites, "proven": proven,
+                "contradictions": 0,
+                "by_kind": dict(sorted(by_kind.items()))}
+
     def check_consistency(self, bench_name: str,
                           targets: tuple[str, str] = MAIN_TARGETS):
         """Cross-ISA consistency check for one benchmark's source.

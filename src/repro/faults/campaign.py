@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from ..bench import get_benchmark
 from ..experiments.runner import Lab, MAIN_TARGETS
@@ -28,10 +29,14 @@ from .inject import FunctionMap, run_cache_fault, run_fault
 from .model import (DEFAULT_KINDS, OUTCOMES, SCHEMA_VERSION, FaultResult,
                     FaultSpec, GoldenRun)
 
+if TYPE_CHECKING:
+    from ..analysis.vuln import SiteVerdict
+    from ..asm.objfile import Executable
 
-def plan_cell(bench: str, target: str, golden: GoldenRun, exe, *,
-              faults: int, seed: int,
-              kinds=DEFAULT_KINDS) -> list[FaultSpec]:
+
+def plan_cell(bench: str, target: str, golden: GoldenRun,
+              exe: "Executable", *, faults: int, seed: int,
+              kinds: tuple[str, ...] = DEFAULT_KINDS) -> list[FaultSpec]:
     """Deterministically derive one cell's fault list.
 
     The PRNG stream is keyed by ``(seed, bench, target)`` only — not by
@@ -41,7 +46,7 @@ def plan_cell(bench: str, target: str, golden: GoldenRun, exe, *,
     rng = random.Random(f"{seed}/{bench}/{target}")
     width_bits = 16 if exe.isa_name == "D16" else 32
     data_len = max(4, len(exe.data))
-    specs = []
+    specs: list[FaultSpec] = []
     for index in range(faults):
         kind = rng.choice(kinds)
         # Trigger inside the golden path (never at 0: the fault must
@@ -82,6 +87,10 @@ class CellReport:
     golden: GoldenRun | None
     results: list[FaultResult] = field(default_factory=list)
     error: str = ""                   # golden run failed (cell skipped)
+    #: Injections skipped because the static analysis proved them
+    #: masked (``--prune-masked``); their results are still recorded
+    #: (outcome ``masked``), so outcome counts match an unpruned run.
+    pruned: int = 0
 
     def outcome_counts(self) -> dict[str, int]:
         counts = {outcome: 0 for outcome in OUTCOMES}
@@ -89,7 +98,7 @@ class CellReport:
             counts[result.outcome] += 1
         return counts
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         if self.error:
             return {"bench": self.bench, "target": self.target,
                     "error": self.error}
@@ -124,6 +133,7 @@ class CellReport:
             "flips_to_failure": (round(total / failures, 3)
                                  if failures else None),
             "functions": dict(sorted(functions.items())),
+            "pruned": self.pruned,
         }
 
 
@@ -139,10 +149,15 @@ class FaultCampaign:
     #: Map injection sites to functions via the xisa summaries
     #: (adds one static analysis per cell).
     attribute_functions: bool = True
+    #: Skip injections the static vulnerability analysis proves masked
+    #: (:mod:`repro.analysis.vuln`).  Pruned sites are recorded with
+    #: outcome ``masked`` and a ``pruned:`` detail, so outcome counts
+    #: are identical to an unpruned run — only the simulations saved.
+    prune_masked: bool = False
     max_instructions: int = DEFAULT_FUEL
     cache: object = None              # Lab cache selector
 
-    def run(self, jobs: int = 1) -> dict:
+    def run(self, jobs: int = 1) -> dict[str, object]:
         """Execute the campaign; returns the versioned report dict."""
         cells = [(bench, target) for bench in self.benchmarks
                  for target in self.targets]
@@ -161,22 +176,23 @@ class FaultCampaign:
 
     # ------------------------------------------------------- internals
 
-    def _cell_config(self, lab: Lab) -> dict:
+    def _cell_config(self, lab: Lab) -> dict[str, Any]:
         return {"faults": self.faults, "seed": self.seed,
                 "kinds": tuple(self.kinds),
                 "attribute": self.attribute_functions,
+                "prune_masked": self.prune_masked,
                 "max_instructions": self.max_instructions,
                 "cache_root": str(lab.cache.root),
                 "cache_enabled": lab.cache.enabled}
 
-    def _fan_out(self, cells, lab: Lab, jobs: int,
+    def _fan_out(self, cells: list[tuple[str, str]], lab: Lab, jobs: int,
                  ) -> dict[tuple[str, str], CellReport]:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         config = self._cell_config(lab)
         reports: dict[tuple[str, str], CellReport] = {}
         pending = list(cells)
-        retried = set()
+        retried: set[tuple[str, str]] = set()
         while pending:
             batch, pending = pending, []
             with ProcessPoolExecutor(
@@ -202,10 +218,11 @@ class FaultCampaign:
                             error=f"{type(exc).__name__}: {exc}")
         return reports
 
-    def _report(self, reports: dict[tuple[str, str], CellReport]) -> dict:
+    def _report(self, reports: dict[tuple[str, str], CellReport],
+                ) -> dict[str, object]:
         cells = [reports[cell].to_dict()
                  for cell in sorted(reports)]
-        by_target: dict[str, dict] = {}
+        by_target: dict[str, dict[str, object]] = {}
         for target in self.targets:
             totals = {outcome: 0 for outcome in OUTCOMES}
             faults = 0
@@ -239,12 +256,12 @@ class FaultCampaign:
         }
 
 
-def render_report(report: dict) -> str:
+def render_report(report: dict[str, object]) -> str:
     """Serialize a campaign report (byte-deterministic)."""
     return json.dumps(report, indent=2, sort_keys=True)
 
 
-def _campaign_cell(bench_name: str, target: str, config: dict,
+def _campaign_cell(bench_name: str, target: str, config: dict[str, Any],
                    ) -> CellReport:
     """Plan and execute every fault of one cell (any process)."""
     lab = Lab(cache=ArtifactCache(config["cache_root"],
@@ -272,12 +289,38 @@ def _campaign_cell(bench_name: str, target: str, config: dict,
             functions = FunctionMap.for_source(bench.source, target)
         except Exception:  # noqa: BLE001 - attribution is best-effort
             functions = None
+    prune = bool(config.get("prune_masked"))
     itrace = None
-    if any(s.kind == "cache" for s in specs):
+    if prune or any(s.kind == "cache" for s in specs):
         itrace = lab.trace(bench_name, target).itrace
+
+    # Static masking verdicts gate execution under --prune-masked; the
+    # oracle is an optimization, so any analysis failure just disables
+    # pruning for the cell rather than failing it.
+    verdicts: dict[int, "SiteVerdict"] = {}
+    if prune:
+        try:
+            from ..analysis.vuln import build_oracle
+            from ..cc.target import TARGETS
+
+            oracle = build_oracle(exe, TARGETS[target], itrace)
+            verdicts = {spec.index: oracle.classify(spec)
+                        for spec in specs}
+        except Exception:  # noqa: BLE001 - pruning is best-effort
+            verdicts = {}
 
     report = CellReport(bench=bench_name, target=target, golden=golden)
     for spec in specs:
+        verdict = verdicts.get(spec.index)
+        if verdict is not None and verdict.masked:
+            pc = verdict.pc
+            function = functions.function_at(pc) \
+                if functions is not None and pc is not None else ""
+            report.results.append(FaultResult(
+                spec=spec, outcome="masked", function=function,
+                detail=f"pruned: {verdict.reason}"))
+            report.pruned += 1
+            continue
         if spec.kind == "cache":
             report.results.append(run_cache_fault(itrace, spec))
         else:

@@ -17,12 +17,19 @@ campaign can report *which* functions are soft spots on each ISA.
 from __future__ import annotations
 
 import bisect
+from typing import TYPE_CHECKING, Iterable
 
 from ..machine import (Machine, MachineError, MachineTimeout, MemoryError_,
                        TrapError)
 from ..machine.cpu import DEFAULT_FUEL
 from .model import (CRASH, DETECTED, HANG, MASKED, SDC, FaultResult,
                     FaultSpec, GoldenRun)
+
+if TYPE_CHECKING:
+    from ..analysis.absint import FunctionSummary
+    from ..asm.objfile import Executable
+    from ..cache import CacheConfig
+    from ..machine.pipeline import PipelineParams
 
 #: Faulty runs get this many times the golden path length as fuel
 #: (plus a flat margin for short programs) before they count as hung.
@@ -39,7 +46,7 @@ def fuel_for(golden: GoldenRun) -> int:
 class FunctionMap:
     """Maps text addresses to function names via xisa summaries."""
 
-    def __init__(self, functions: dict):
+    def __init__(self, functions: dict[str, "FunctionSummary"]):
         entries = sorted((summary.start, name)
                          for name, summary in functions.items())
         self._starts = [start for start, _name in entries]
@@ -94,8 +101,8 @@ def apply_fault(machine: Machine, spec: FaultSpec) -> str:
     raise ValueError(f"unknown fault kind {spec.kind!r}")
 
 
-def run_fault(exe, spec: FaultSpec, golden: GoldenRun, *,
-              params=None, stdin: bytes = b"",
+def run_fault(exe: "Executable", spec: FaultSpec, golden: GoldenRun, *,
+              params: "PipelineParams | None" = None, stdin: bytes = b"",
               functions: FunctionMap | None = None) -> FaultResult:
     """Run ``exe`` with one injected fault; classify against golden."""
     fuel = fuel_for(golden)
@@ -143,7 +150,8 @@ def run_fault(exe, spec: FaultSpec, golden: GoldenRun, *,
                        detail=where, stats_differ=differ)
 
 
-def run_cache_fault(itrace, spec: FaultSpec, config=None) -> FaultResult:
+def run_cache_fault(itrace: Iterable[int], spec: FaultSpec,
+                    config: "CacheConfig | None" = None) -> FaultResult:
     """Replay an instruction-address trace with one corrupt cache line.
 
     The :mod:`repro.cache` models carry no data, only metadata (tags

@@ -30,7 +30,11 @@ from dataclasses import dataclass, field
 
 #: Version of the campaign JSON report layout.  Bump on any
 #: backwards-incompatible change to the payload shape.
-SCHEMA_VERSION = 1
+#:
+#: Version 2 added the per-cell ``pruned`` counter and the ``pruned:``
+#: result details emitted by ``--prune-masked`` campaigns (sites the
+#: static vulnerability analysis proved masked and therefore skipped).
+SCHEMA_VERSION = 2
 
 #: Fault kinds the injector understands, in canonical order.
 FAULT_KINDS = ("ifetch", "reg", "mem", "trap", "cache")
@@ -66,9 +70,9 @@ class FaultSpec:
     mode: str = ""         # trap fault mode           (kind == "trap")
     line: int = 0          # cache line index          (kind == "cache")
 
-    def to_dict(self) -> dict:
-        out = {"index": self.index, "kind": self.kind,
-               "trigger": self.trigger}
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"index": self.index, "kind": self.kind,
+                                  "trigger": self.trigger}
         if self.kind == "ifetch":
             out["bit"] = self.bit
         elif self.kind == "reg":
@@ -98,7 +102,7 @@ class FaultResult:
     #: changed the *performance* trajectory without corrupting data.
     stats_differ: bool = False
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         out = self.spec.to_dict()
         out["outcome"] = self.outcome
         if self.detail:

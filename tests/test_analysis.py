@@ -435,9 +435,11 @@ class TestJsonSchema:
             [finding("ABS002", "text:0x1000", "seeded error"),
              finding("ABS004", "text:0x1004", "seeded warning")]))
         # v2 added the loop/WCET rules and the --wcet/--density JSON
-        # extras; v3 added the CACHE rules and the --icache extras
-        # (docs/linting.md documents both migrations).
-        assert SCHEMA_VERSION == 4
+        # extras; v3 added the CACHE rules and the --icache extras;
+        # v4 added the TV rules and the --tv extras; v5 added the
+        # LIV/VULN rules and the --vuln extras (docs/linting.md
+        # documents every migration).
+        assert SCHEMA_VERSION == 5
         assert payload["schema_version"] == SCHEMA_VERSION
         assert set(payload) >= {"schema_version", "findings", "summary",
                                 "rules"}
@@ -468,7 +470,7 @@ class TestJsonSchema:
 
         assert main(["lint", "ackermann", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
 
 
 class TestExitCodes:

@@ -124,7 +124,7 @@ def test_faults_campaign_report(tmp_path, capsys):
     import json
 
     report = json.loads(out.read_text())
-    assert report["schema_version"] == 1
+    assert report["schema_version"] == 2
     assert report["fault_kinds"] == ["reg", "trap"]
     assert {cell["target"] for cell in report["cells"]} == {"d16", "dlxe"}
     err = capsys.readouterr().err

@@ -381,7 +381,7 @@ class TestCliTv:
 
         assert main(["lint", "ackermann", "--tv", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         records = payload["tv"]
         assert len(records) == 1 and records[0]["program"] == "ackermann"
         passes = records[0]["passes"]
@@ -404,10 +404,11 @@ class TestCliTv:
         assert main(["lint", "ackermann", "--all", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["modes"]) == {"lint", "timing", "wcet",
-                                         "icache", "density", "tv"}
+                                         "icache", "density", "tv",
+                                         "vuln"}
         for mode, entry in payload["modes"].items():
             assert entry["cells"] >= 1, mode
             assert "by_severity" in entry["summary"]
         # The combined report also carries every per-mode record block.
-        for key in ("bounds", "icache", "density", "tv"):
+        for key in ("bounds", "icache", "density", "tv", "vuln"):
             assert key in payload

@@ -504,7 +504,7 @@ class TestDriverAndRules:
         for rule in ("CACHE001", "CACHE002", "CACHE003", "CACHE004",
                      "CACHE005"):
             assert rule in RULES
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
 
     def test_icache_program_grid(self, isa_target):
         cells = icache_program(HELLO, isa_target, sizes=(1024, 8192))
@@ -543,7 +543,7 @@ class TestCli:
                      "--icache-sizes", "1024,4096", "--json"])
         assert code == 0                 # CACHE003 is only a warning
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         records = payload["icache"]
         assert [r["size"] for r in records] == [1024, 4096]
         for record in records:

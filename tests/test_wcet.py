@@ -306,7 +306,7 @@ class TestCli:
 
         assert main(["lint", "ackermann", "--wcet", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
         cells = payload["bounds"]
         assert {(c["program"], c["target"]) for c in cells} == \
             {("ackermann", "d16"), ("ackermann", "dlxe")}
